@@ -1,0 +1,55 @@
+"""Fig. 12: latency of L1-L6 while growing the cluster from 2 to 8 nodes.
+
+Shape assertions: group (I) queries stay flat (in-place execution keeps
+them stable regardless of cluster size); group (II) queries *speed up*
+with more nodes thanks to fork-join parallelism over the partitioned
+index.
+"""
+
+from repro.bench.harness import (build_wukongs, format_table,
+                                 measure_wukongs, median_of)
+
+from common import DURATION_MS, L_QUERIES, large_lsbench
+
+NODE_COUNTS = (2, 4, 6, 8)
+
+
+def run_experiment():
+    bench = large_lsbench()
+    queries = {name: bench.continuous_query(name) for name in L_QUERIES}
+    out = {}
+    for nodes in NODE_COUNTS:
+        engine = build_wukongs(bench, num_nodes=nodes,
+                               duration_ms=DURATION_MS)
+        out[nodes] = median_of(measure_wukongs(engine, queries,
+                                               DURATION_MS))
+    return out
+
+
+def test_fig12_scalability(benchmark, report):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = [[query] + [measured[n][query] for n in NODE_COUNTS]
+            for query in L_QUERIES]
+    report(format_table(
+        "Fig. 12: Wukong+S latency (ms) vs cluster size, LSBench",
+        ["Query"] + [f"{n} nodes" for n in NODE_COUNTS],
+        rows,
+        note="paper: group (I) flat; group (II) speedup 2.8X-3.2X "
+             "from 2 to 8 nodes"))
+    from repro.bench.plots import line_chart
+    report(line_chart(
+        {query: [(n, measured[n][query]) for n in NODE_COUNTS]
+         for query in ("L4", "L5", "L6")},
+        title="Fig. 12b (group II)", x_label="nodes", y_label="ms"))
+
+    # Group (I): stable latency (within 2X across cluster sizes).
+    for query in ("L1", "L2", "L3"):
+        series = [measured[n][query] for n in NODE_COUNTS]
+        assert max(series) < 2.0 * min(series), query
+    # Group (II): more nodes reduce latency.
+    for query in ("L4", "L5", "L6"):
+        assert measured[8][query] < measured[2][query], query
+    # Aggregate speedup for group (II) is a real parallel win (> 1.5X).
+    speedups = [measured[2][q] / measured[8][q] for q in ("L4", "L5", "L6")]
+    assert max(speedups) > 1.5

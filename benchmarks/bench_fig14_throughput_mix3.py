@@ -1,0 +1,67 @@
+"""Fig. 14: throughput and latency CDF for the L1-L3 mixed workload.
+
+Emulated clients register randomized instances of the three selective
+query classes; throughput follows the paper's worker model (each execution
+occupies one worker for its latency; the class mix follows reciprocal
+latency).  Shape assertions: throughput scales with the cluster (>= 3X
+from 2 to 8 nodes), reaches a high rate on 8 nodes, and the median mixture
+latency stays sub-millisecond.
+"""
+
+from repro.bench.harness import format_table
+from repro.bench.metrics import cdf_points
+from repro.bench.workload import run_mixed_workload
+
+from common import PAPER_FIG14, large_lsbench
+
+NODE_COUNTS = (2, 4, 6, 8)
+DURATION_MS = 3_000
+
+
+def run_experiment():
+    bench = large_lsbench()
+    return {nodes: run_mixed_workload(bench, ["L1", "L2", "L3"], nodes,
+                                      duration_ms=DURATION_MS)
+            for nodes in NODE_COUNTS}
+
+
+def test_fig14_throughput_mix3(benchmark, report):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for nodes in NODE_COUNTS:
+        result = measured[nodes]
+        rows.append([f"{nodes} nodes",
+                     f"{result.throughput_qps / 1e6:.2f}M",
+                     result.mixture_mean_latency_ms,
+                     result.latency_percentile_ms(50),
+                     result.latency_percentile_ms(99),
+                     f"{PAPER_FIG14.get(nodes, 0) / 1e6:.2f}M"
+                     if nodes in PAPER_FIG14 else "-"])
+    report(format_table(
+        "Fig. 14: mixed L1-L3 workload throughput",
+        ["Cluster", "Throughput", "mean ms", "p50 ms", "p99 ms",
+         "(paper tput)"],
+        rows,
+        note="paper: 1.08M q/s on 8 nodes (p50 0.11 ms, p99 0.90 ms)"))
+
+    from repro.bench.plots import cdf_chart, line_chart
+    report(line_chart(
+        {"throughput": [(n, measured[n].throughput_qps / 1e6)
+                        for n in NODE_COUNTS]},
+        title="Fig. 14a", x_label="nodes", y_label="M queries/s"))
+    report(cdf_chart(
+        {name: measured[8].class_cdf(name) for name in ("L1", "L2", "L3")},
+        title="Fig. 14b: latency CDF on 8 nodes"))
+
+    # CDF sample of the dominant class on 8 nodes (Fig. 14b).
+    cdf = measured[8].class_cdf("L1")
+    assert cdf[0][1] > 0 and abs(cdf[-1][1] - 1.0) < 1e-9
+
+    # Throughput scales with the cluster.
+    scale = measured[8].throughput_qps / measured[2].throughput_qps
+    assert scale > 3.0
+    # Median latency under peak load stays sub-millisecond.
+    assert measured[8].latency_percentile_ms(50) < 1.0
+    # 8-node throughput reaches at least the paper's order of magnitude.
+    assert measured[8].throughput_qps > 500_000

@@ -1,0 +1,72 @@
+"""Fig. 15: throughput and latency CDF for the full L1-L6 mixed workload.
+
+Like Fig. 14 but mixing all six classes, including the heavy group-II
+queries.  Shape assertions: throughput is below the L1-L3 mix (heavier
+queries), scales super-linearly with nodes (group-II latency shrinks on
+bigger clusters, as §6.6 observes), and the group-II classes dominate the
+tail.
+"""
+
+from repro.bench.harness import format_table
+from repro.bench.metrics import mean
+from repro.bench.workload import run_mixed_workload
+
+from common import PAPER_FIG15, large_lsbench
+
+NODE_COUNTS = (2, 4, 6, 8)
+DURATION_MS = 3_000
+
+
+def run_experiment():
+    bench = large_lsbench()
+    return {nodes: run_mixed_workload(
+                bench, ["L1", "L2", "L3", "L4", "L5", "L6"], nodes,
+                duration_ms=DURATION_MS, variants_per_class=2)
+            for nodes in NODE_COUNTS}
+
+
+def test_fig15_throughput_mix6(benchmark, report):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for nodes in NODE_COUNTS:
+        result = measured[nodes]
+        rows.append([f"{nodes} nodes",
+                     f"{result.throughput_qps / 1e3:.0f}K",
+                     result.mixture_mean_latency_ms,
+                     result.latency_percentile_ms(50),
+                     result.latency_percentile_ms(99),
+                     f"{PAPER_FIG15.get(nodes, 0) / 1e3:.0f}K"
+                     if nodes in PAPER_FIG15 else "-"])
+    report(format_table(
+        "Fig. 15: mixed L1-L6 workload throughput",
+        ["Cluster", "Throughput", "mean ms", "p50 ms", "p99 ms",
+         "(paper tput)"],
+        rows,
+        note="paper: 802K q/s on 8 nodes; scaling 5.0X from 2 nodes "
+             "(super-linear: group-II latency drops with cluster size)"))
+
+    from repro.bench.plots import cdf_chart, line_chart
+    report(line_chart(
+        {"throughput": [(n, measured[n].throughput_qps / 1e3)
+                        for n in NODE_COUNTS]},
+        title="Fig. 15a", x_label="nodes", y_label="K queries/s"))
+    report(cdf_chart(
+        {name: measured[8].class_cdf(name)
+         for name in ("L1", "L4", "L5", "L6")},
+        title="Fig. 15b: latency CDF on 8 nodes"))
+
+    # Mixing in group II lowers throughput vs the L1-L3 mix would give.
+    eight = measured[8]
+    assert eight.throughput_qps < 5_000_000
+
+    # Throughput scales with cluster size.
+    scale = eight.throughput_qps / measured[2].throughput_qps
+    assert scale > 2.0
+
+    # Group-II classes are the slow tail of the mixture.
+    group1 = mean([mean(eight.per_class_latencies_ms[c])
+                   for c in ("L1", "L2", "L3")])
+    group2 = mean([mean(eight.per_class_latencies_ms[c])
+                   for c in ("L4", "L5", "L6")])
+    assert group2 > group1

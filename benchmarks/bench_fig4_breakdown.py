@@ -1,0 +1,88 @@
+"""Fig. 4: execution-time breakdown of QC on Storm+Wukong.
+
+Runs the paper's QC through the composite engine under both query plans:
+(a) interleaved GP1 -> GP2 -> GP3 and (b) stream-first (GP1 |><| GP3
+first, then GP2).  The workload reproduces the paper's selectivity
+profile — a modest tweet window (GP1), a friendship expansion (GP2) and a
+like window an order of magnitude larger (GP3), so the stream-first join
+emits a huge unpruned intermediate (the paper's 83,099 tuples).
+
+Assertions check §2.3's two findings: cross-system cost is a large
+fraction of the total, and the "fewer crossings" plan is *slower* overall
+due to insufficient pruning.
+"""
+
+from repro.baselines.composite import CompositeEngine
+from repro.bench.harness import format_table
+from repro.bench.lsbench import LSBench, LSBenchConfig
+from repro.sim.cluster import Cluster
+from repro.sparql.parser import parse_query
+from repro.streams.stream import batch_tuples
+
+from common import PAPER_FIG4
+
+#: Dedicated stream profile: likes dwarf posts, as in the paper's QC run
+#: (GP1 = 831 tuples vs GP3 = 85,927).  Unscaled tuples/second.
+FIG4_RATES = {"PO": 8_000.0, "PO_L": 430_000.0, "PH": 0.0, "PH_L": 0.0,
+              "GPS": 0.0}
+DURATION_MS = 10_000
+
+QC = """
+REGISTER QUERY QC AS
+SELECT ?X ?Y ?Z
+FROM PO [RANGE 10s STEP 1s]
+FROM PO_L [RANGE 5s STEP 1s]
+FROM X-Lab
+WHERE {
+    GRAPH PO { ?X po ?Z }
+    GRAPH X-Lab { ?X fo ?Y }
+    GRAPH PO_L { ?Y li ?Z }
+}
+"""
+
+
+def run_experiment():
+    bench = LSBench(LSBenchConfig(num_users=1_000, rate_scale=0.01))
+    streams = bench.generate_streams(DURATION_MS, rates=FIG4_RATES)
+    query = parse_query(QC)
+    out = {}
+    for plan in ("interleaved", "stream_first"):
+        engine = CompositeEngine(Cluster(1), plan=plan)
+        engine.load_static(bench.static_triples())
+        for name, tuples in streams.items():
+            for batch in batch_tuples(name, tuples, 0, 1_000):
+                engine.ingest(batch)
+        _, meter, breakdown = engine.execute_continuous(query, DURATION_MS)
+        out[plan] = breakdown
+    return out
+
+
+def test_fig4_breakdown(benchmark, report):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for plan in ("interleaved", "stream_first"):
+        breakdown = measured[plan]
+        rows.append([plan,
+                     breakdown.processor_ms,
+                     breakdown.wukong_ms,
+                     breakdown.cross_ms,
+                     breakdown.total_ms,
+                     f"{breakdown.cross_fraction:.1%}",
+                     PAPER_FIG4[plan]["total_ms"],
+                     f"{PAPER_FIG4[plan]['cross_fraction']:.1%}"])
+    report(format_table(
+        "Fig. 4: QC breakdown on Storm+Wukong (ms)",
+        ["Plan", "Storm", "Wukong", "CC", "Total", "CC%",
+         "(paper total)", "(paper CC%)"],
+        rows))
+
+    inter = measured["interleaved"]
+    first = measured["stream_first"]
+    # Issue #1: the cross-system cost is a significant share of the total.
+    assert inter.cross_fraction > 0.15
+    # Issue #2: reducing crossings makes the plan *slower* overall...
+    assert first.total_ms > inter.total_ms
+    # ...because the unpruned stream-stream join ships a much larger
+    # intermediate across the system boundary.
+    assert first.cross_ms > inter.cross_ms

@@ -1,0 +1,79 @@
+"""Table 2: single-node continuous-query latency on LSBench.
+
+Compares Wukong+S, Storm+Wukong (composite) and CSPARQL-engine on L1-L6,
+printing medians beside the paper's numbers.  Shape assertions: Wukong+S
+beats the composite on every query; CSPARQL-engine is orders of magnitude
+behind both; group (I) queries stay sub-millisecond on Wukong+S.
+"""
+
+from repro.baselines.composite import CompositeEngine
+from repro.baselines.csparql_engine import CSparqlEngine
+from repro.bench.harness import (build_wukongs, feed_baseline, format_table,
+                                 measure_baseline, measure_wukongs,
+                                 median_of)
+from repro.bench.metrics import geo_mean
+from repro.sim.cluster import Cluster
+
+from common import (DURATION_MS, L_QUERIES, PAPER_TABLE2, close_times,
+                    small_lsbench)
+
+
+def run_experiment():
+    bench = small_lsbench()
+    queries = {name: bench.continuous_query(name) for name in L_QUERIES}
+
+    wukongs = build_wukongs(bench, num_nodes=1, duration_ms=DURATION_MS)
+    wukongs_lat = median_of(measure_wukongs(wukongs, queries, DURATION_MS))
+
+    composite = feed_baseline(CompositeEngine(Cluster(num_nodes=1)),
+                              bench, DURATION_MS)
+    composite_lat = median_of(measure_baseline(
+        composite, queries, close_times(),
+        runner=lambda e, q, t: e.execute_continuous(q, t)[1].ms))
+
+    csparql = feed_baseline(CSparqlEngine(), bench, DURATION_MS)
+    csparql_lat = median_of(measure_baseline(csparql, queries,
+                                             close_times()))
+
+    return {"Wukong+S": wukongs_lat, "Storm+Wukong": composite_lat,
+            "CSPARQL-engine": csparql_lat}
+
+
+def test_table2_single_node(benchmark, report):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for query in L_QUERIES:
+        rows.append([query,
+                     measured["Wukong+S"][query],
+                     PAPER_TABLE2["Wukong+S"][query],
+                     measured["Storm+Wukong"][query],
+                     PAPER_TABLE2["Storm+Wukong"][query],
+                     measured["CSPARQL-engine"][query],
+                     PAPER_TABLE2["CSPARQL-engine"][query]])
+    rows.append(["Geo.M",
+                 geo_mean(list(measured["Wukong+S"].values())),
+                 0.48,
+                 geo_mean(list(measured["Storm+Wukong"].values())),
+                 5.91,
+                 geo_mean(list(measured["CSPARQL-engine"].values())),
+                 757])
+    report(format_table(
+        "Table 2: single-node latency (ms), LSBench",
+        ["Query", "W+S", "(paper)", "Storm+W", "(paper)", "CSPARQL",
+         "(paper)"],
+        rows,
+        note="paper scale: 118M triples / 133K tuples-s; "
+             "here: ~33K triples / ~1.3K tuples-s (DESIGN.md §5)"))
+
+    for query in L_QUERIES:
+        assert measured["Wukong+S"][query] < \
+            measured["Storm+Wukong"][query], query
+        assert measured["Storm+Wukong"][query] < \
+            measured["CSPARQL-engine"][query], query
+    # Group (I) stays sub-millisecond on the integrated design.
+    for query in ("L1", "L2", "L3"):
+        assert measured["Wukong+S"][query] < 1.0
+    # CSPARQL-engine is orders of magnitude behind Wukong+S.
+    assert geo_mean(list(measured["CSPARQL-engine"].values())) > \
+        100 * geo_mean(list(measured["Wukong+S"].values()))

@@ -1,0 +1,117 @@
+"""Table 4: further systems on the 8-node LSBench setup.
+
+Heron+Wukong (faster framework, same composite bottleneck), Structured
+Streaming (L1-L3 only; stream-stream joins unsupported -> "x"), and
+Wukong/Ext (no stream index, no GC).  Shape assertions: Heron helps the
+stream-only query but not the cross-system ones; Structured Streaming is
+slower than Spark Streaming and rejects L4-L6; Wukong+S outperforms
+Wukong/Ext, with a larger gap on the big (group II) queries.
+"""
+
+from repro.baselines.composite import CompositeEngine
+from repro.baselines.structured import StructuredStreamingEngine
+from repro.baselines.wukong_ext import WukongExtEngine
+from repro.bench.harness import (build_wukongs, feed_baseline, format_table,
+                                 measure_baseline, measure_wukongs,
+                                 median_of)
+from repro.errors import UnsupportedOperationError
+from repro.sim.cluster import Cluster
+from repro.sparql.parser import parse_query
+
+from common import L_QUERIES, PAPER_TABLE4, close_times, large_lsbench
+
+#: This experiment needs a long absorbed history: Wukong/Ext's window
+#: extraction cost grows with everything ever injected, which is exactly
+#: the effect Table 4 quantifies.  (The paper's run had minutes of
+#: 133K-tuple/s history behind each measurement.)
+HISTORY_MS = 30_000
+MEASURE_MS = 4_000
+
+
+def run_experiment():
+    bench = large_lsbench()
+    queries = {name: bench.continuous_query(name) for name in L_QUERIES}
+    closes = close_times(HISTORY_MS, step_ms=500,
+                         warmup_ms=HISTORY_MS - MEASURE_MS)
+
+    heron = feed_baseline(
+        CompositeEngine(Cluster(num_nodes=8), framework="heron"),
+        bench, HISTORY_MS)
+    heron_lat = median_of(measure_baseline(
+        heron, queries, closes,
+        runner=lambda e, q, t: e.execute_continuous(q, t)[1].ms))
+
+    structured = feed_baseline(StructuredStreamingEngine(), bench,
+                               HISTORY_MS)
+    structured_lat = {}
+    for name, text in queries.items():
+        query = parse_query(text)
+        try:
+            samples = [structured.execute_continuous(query, t)[1].ms
+                       for t in closes]
+            structured_lat[name] = sorted(samples)[len(samples) // 2]
+        except UnsupportedOperationError:
+            structured_lat[name] = float("nan")
+
+    ext = feed_baseline(WukongExtEngine(Cluster(num_nodes=8)), bench,
+                        HISTORY_MS)
+    ext_lat = median_of(measure_baseline(
+        ext, queries, closes,
+        runner=lambda e, q, t: e.execute_continuous(q, t)[1].ms))
+
+    wukongs = build_wukongs(bench, num_nodes=8, duration_ms=HISTORY_MS)
+    wukongs_lat = median_of(measure_wukongs(
+        wukongs, queries, HISTORY_MS,
+        warmup_ms=HISTORY_MS - MEASURE_MS))
+
+    return {"Wukong+S": wukongs_lat, "Heron+Wukong": heron_lat,
+            "Structured Streaming": structured_lat, "Wukong/Ext": ext_lat}
+
+
+def test_table4_more_systems(benchmark, report):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for query in L_QUERIES:
+        rows.append([query,
+                     measured["Heron+Wukong"][query],
+                     PAPER_TABLE4["Heron+Wukong"][query],
+                     measured["Structured Streaming"][query],
+                     PAPER_TABLE4["Structured Streaming"][query],
+                     measured["Wukong/Ext"][query],
+                     PAPER_TABLE4["Wukong/Ext"][query],
+                     measured["Wukong+S"][query]])
+    report(format_table(
+        "Table 4: further systems, 8 nodes (ms)",
+        ["Query", "Heron+W", "(paper)", "Structured", "(paper)", "W/Ext",
+         "(paper)", "W+S here"],
+        rows,
+        note="'x' marks unsupported stream-stream joins, as in the paper"))
+
+    # Structured Streaming cannot run the multi-stream queries.
+    for query in ("L4", "L5", "L6"):
+        assert measured["Structured Streaming"][query] != \
+            measured["Structured Streaming"][query]  # NaN
+    for query in ("L1", "L2", "L3"):
+        assert measured["Structured Streaming"][query] > 0
+
+    # Wukong+S beats Heron+Wukong on every query.
+    for query in L_QUERIES:
+        assert measured["Wukong+S"][query] < \
+            measured["Heron+Wukong"][query], query
+    # Against Wukong/Ext: strictly better on the heavy group-II queries
+    # (where the stream index skips the scan of all absorbed history);
+    # on group I both sit at the worker-dispatch floor, so the comparison
+    # allows floor-level noise (a few microseconds).
+    for query in ("L4", "L5", "L6"):
+        assert measured["Wukong+S"][query] < \
+            measured["Wukong/Ext"][query], query
+    for query in ("L1", "L2", "L3"):
+        assert measured["Wukong+S"][query] < \
+            measured["Wukong/Ext"][query] + 0.005, query
+
+    # The stream-index advantage is larger on the big group-II queries.
+    gap = {q: measured["Wukong/Ext"][q] / measured["Wukong+S"][q]
+           for q in L_QUERIES}
+    assert max(gap[q] for q in ("L4", "L5", "L6")) > \
+        min(gap[q] for q in ("L1", "L2", "L3"))

@@ -1,0 +1,67 @@
+"""Table 6: data injection and indexing cost per 100 ms mini-batch.
+
+Measures the per-batch injection pipeline (adapt + dispatch + insert) and
+the stream-index build time for each of LSBench's five streams at their
+default rates.  Shape assertions: the heaviest stream (PO-L at 86K/s
+paper-scale) costs the most; indexing is a minor share of injection; GPS
+(timing-only) builds no stream index at all.
+"""
+
+from repro.bench.harness import build_wukongs, format_table
+from repro.bench.metrics import mean
+
+from common import DURATION_MS, PAPER_TABLE6, large_lsbench
+
+STREAMS = ("PO", "PO_L", "PH", "PH_L", "GPS")
+
+
+def run_experiment():
+    bench = large_lsbench()
+    engine = build_wukongs(bench, num_nodes=8, duration_ms=DURATION_MS)
+    engine.run_until(DURATION_MS)
+    out = {}
+    for stream in STREAMS:
+        records = [r for r in engine.injection_records
+                   if r.stream == stream and r.num_tuples > 0]
+        out[stream] = {
+            "injection": mean([r.injection_ms for r in records]),
+            "indexing": mean([r.indexing_ms for r in records]),
+            "total": mean([r.total_ms for r in records]),
+            "tuples_per_batch": mean([r.num_tuples for r in records]),
+        }
+    return out
+
+
+def test_table6_injection(benchmark, report):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for stream in STREAMS:
+        stats = measured[stream]
+        rows.append([stream,
+                     stats["injection"],
+                     PAPER_TABLE6["Injection"][stream],
+                     stats["indexing"] if stats["indexing"] else None,
+                     PAPER_TABLE6["Indexing"][stream],
+                     stats["total"],
+                     f"{stats['tuples_per_batch']:.0f}"])
+    report(format_table(
+        "Table 6: injection + indexing cost per 100 ms mini-batch (ms)",
+        ["Stream", "Inject", "(paper)", "Index", "(paper)", "Total",
+         "tuples/batch"],
+        rows,
+        note="GPS is timing-only: no stream index is built (paper "
+             "Table 7 shows '-' for it)"))
+
+    # The heaviest stream costs the most to inject.
+    assert measured["PO_L"]["injection"] == max(
+        measured[s]["injection"] for s in STREAMS)
+    # Indexing is a minority share of the injection pipeline.
+    for stream in ("PO", "PO_L", "PH", "PH_L"):
+        assert 0 < measured[stream]["indexing"] < \
+            measured[stream]["injection"], stream
+    # GPS builds no stream index.
+    assert measured["GPS"]["indexing"] == 0.0
+    # Injection stays well below the 100 ms batch interval (keeps up).
+    for stream in STREAMS:
+        assert measured[stream]["total"] < 100.0, stream

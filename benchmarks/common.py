@@ -1,0 +1,131 @@
+"""Shared constants and builders for the benchmark suite.
+
+``PAPER_*`` dictionaries hold the numbers the paper reports, printed next
+to our measurements in every table.  Absolute values are not expected to
+match (our substrate is a simulated cluster and the dataset is scaled down
+— see DESIGN.md §5); the *shape* — who wins, by roughly what factor, where
+crossovers fall — is what each benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from repro.bench.citybench import CityBench, CityBenchConfig
+from repro.bench.lsbench import LSBench, LSBenchConfig
+
+L_QUERIES = ["L1", "L2", "L3", "L4", "L5", "L6"]
+S_QUERIES = ["S1", "S2", "S3", "S4", "S5", "S6"]
+C_QUERIES = [f"C{i}" for i in range(1, 12)]
+
+# Table 2 (single node, LSBench-118M), milliseconds.
+PAPER_TABLE2 = {
+    "Wukong+S": {"L1": 0.13, "L2": 0.10, "L3": 0.13, "L4": 1.19,
+                 "L5": 2.89, "L6": 2.14},
+    "Storm+Wukong": {"L1": 0.20, "L2": 1.62, "L3": 1.29, "L4": 30.38,
+                     "L5": 51.04, "L6": 65.04},
+    "CSPARQL-engine": {"L1": 155, "L2": 708, "L3": 872, "L4": 291,
+                       "L5": 1984, "L6": 3395},
+}
+
+# Table 3 (8 nodes, LSBench-3.75B), milliseconds.
+PAPER_TABLE3 = {
+    "Wukong+S": {"L1": 0.10, "L2": 0.08, "L3": 0.11, "L4": 1.78,
+                 "L5": 3.50, "L6": 1.68},
+    "Storm+Wukong": {"L1": 0.23, "L2": 1.64, "L3": 2.62, "L4": 31.14,
+                     "L5": 40.77, "L6": 49.03},
+    "Spark Streaming": {"L1": 219, "L2": 527, "L3": 712, "L4": 346,
+                        "L5": 2215, "L6": 1422},
+}
+
+# Table 4 (8 nodes), milliseconds; None = unsupported ("x").
+PAPER_TABLE4 = {
+    "Heron+Wukong": {"L1": 0.24, "L2": 1.58, "L3": 2.35, "L4": 30.92,
+                     "L5": 31.72, "L6": 45.78},
+    "Structured Streaming": {"L1": 287, "L2": 743, "L3": 1698, "L4": None,
+                             "L5": None, "L6": None},
+    "Wukong/Ext": {"L1": 0.19, "L2": 0.14, "L3": 0.17, "L4": 6.91,
+                   "L5": 7.36, "L6": 7.33},
+}
+
+# Table 5 (8 nodes): RDMA vs non-RDMA, milliseconds.
+PAPER_TABLE5 = {
+    "Wukong+S": {"L1": 0.10, "L2": 0.08, "L3": 0.11, "L4": 1.78,
+                 "L5": 3.50, "L6": 1.68},
+    "Non-RDMA": {"L1": 0.11, "L2": 0.08, "L3": 0.12, "L4": 6.22,
+                 "L5": 6.14, "L6": 4.90},
+}
+
+# Table 6: per-mini-batch (100 ms) injection cost, milliseconds.
+PAPER_TABLE6 = {
+    "Injection": {"PO": 0.52, "PO_L": 1.77, "PH": 0.45, "PH_L": 0.16,
+                  "GPS": 1.18},
+    "Indexing": {"PO": 0.23, "PO_L": 0.43, "PH": 0.22, "PH_L": 0.21,
+                 "GPS": 0.34},
+}
+
+# Table 7: MB/min of raw stream data vs stream index.
+PAPER_TABLE7 = {
+    "data": {"PO": 6.39, "PO_L": 38.22, "PH": 4.76, "PH_L": 7.90,
+             "GPS": 5.45},
+    "index": {"PO": 2.96, "PO_L": 0.60, "PH": 1.89, "PH_L": 0.51,
+              "GPS": None},
+}
+
+# Table 8: one-shot queries (8 nodes), milliseconds.
+PAPER_TABLE8 = {
+    "Wukong": {"S1": 4.04, "S2": 0.11, "S3": 0.19, "S4": 23.1,
+               "S5": 0.26, "S6": 60.2},
+    "Wukong+S/Off": {"S1": 4.12, "S2": 0.12, "S3": 0.20, "S4": 24.1,
+                     "S5": 0.28, "S6": 61.8},
+    "Wukong+S/On": {"S1": 4.31, "S2": 0.11, "S3": 0.21, "S4": 25.5,
+                    "S5": 0.29, "S6": 64.2},
+}
+
+# Table 9: CityBench (single node), milliseconds.
+PAPER_TABLE9 = {
+    "Wukong+S": {"C1": 0.24, "C2": 0.37, "C3": 0.26, "C4": 0.98,
+                 "C5": 0.94, "C6": 0.26, "C7": 0.24, "C8": 0.27,
+                 "C9": 1.15, "C10": 0.78, "C11": 0.16},
+    "Storm+Wukong": {"C1": 4.40, "C2": 4.48, "C3": 4.10, "C4": 2.67,
+                     "C5": 4.10, "C6": 1.91, "C7": 2.23, "C8": 2.05,
+                     "C9": 3.91, "C10": 1.18, "C11": 0.17},
+    "Spark Streaming": {"C1": 872, "C2": 1557, "C3": 675, "C4": 802,
+                        "C5": 790, "C6": 764, "C7": 762, "C8": 692,
+                        "C9": 1088, "C10": 1086, "C11": 193},
+}
+
+# Fig. 4: QC breakdown on Storm+Wukong (ms) and cross-system-cost share.
+PAPER_FIG4 = {
+    "interleaved": {"total_ms": 101.8, "cross_fraction": 0.391},
+    "stream_first": {"total_ms": 249.2, "cross_fraction": 0.465},
+}
+
+# Fig. 14/15: peak throughput (queries/s).
+PAPER_FIG14 = {2: 254_000, 8: 1_080_000}
+PAPER_FIG15 = {2: 161_000, 8: 802_000}
+
+# §6.8: fault tolerance overhead.
+PAPER_FT = {"logging_delay_ms": 0.3, "throughput_drop": 0.112}
+
+
+def small_lsbench() -> LSBench:
+    """Single-node LSBench (stands in for LSBench-118M)."""
+    return LSBench(LSBenchConfig.small())
+
+
+def large_lsbench() -> LSBench:
+    """Cluster LSBench (stands in for LSBench-3.75B)."""
+    return LSBench(LSBenchConfig.large())
+
+
+def default_citybench() -> CityBench:
+    return CityBench(CityBenchConfig())
+
+
+#: Default measurement horizon: leaves ~25 executions per query at the
+#: 100 ms step after windows warm up (the paper uses 100 runs).
+DURATION_MS = 4_000
+
+#: Close times for baselines (after windows have fully warmed up).
+def close_times(duration_ms: int = DURATION_MS, step_ms: int = 500,
+                warmup_ms: int = 1_500):
+    return list(range(warmup_ms, duration_ms + 1, step_ms))

@@ -1,0 +1,18 @@
+"""Benchmark configuration: shared fixtures and import path."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table to the real terminal (and the tee'd log),
+    bypassing pytest's capture so tables always appear in bench output."""
+    def _report(text):
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+    return _report

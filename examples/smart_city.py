@@ -1,0 +1,55 @@
+"""Smart-city monitoring: CityBench streams over a city knowledge graph.
+
+The paper's second scenario (§6.10): IoT sensors in the city of Aarhus
+feed eleven RDF streams — vehicle traffic, parking availability, weather,
+user locations, pollution — joined against a static graph of roads, areas
+and sensors.  This example registers three urban-monitoring queries:
+
+* C2: congestion on pairs of connected roads (route planning);
+* C5: parking availability near a congested road;
+* C8: the weather where a given citizen currently is.
+
+Run with:  python examples/smart_city.py
+"""
+
+from repro.bench.citybench import CityBench, CityBenchConfig
+from repro.bench.harness import build_wukongs
+from repro.bench.metrics import median
+
+DURATION_MS = 12_000
+
+
+def main():
+    bench = CityBench(CityBenchConfig())
+    print("CityBench scenario:", len(bench.static_triples()),
+          "static triples;", len(bench.schemas()), "sensor streams "
+          "(rates 4-19 tuples/s, as in the paper)")
+
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=DURATION_MS,
+                           batch_interval_ms=1_000)
+    handles = {name: engine.register_continuous(bench.continuous_query(name))
+               for name in ("C2", "C5", "C8")}
+    engine.run_until(DURATION_MS)
+
+    for name, handle in handles.items():
+        latencies = [rec.latency_ms for rec in handle.executions]
+        latest = handle.executions[-1] if handle.executions else None
+        print(f"\n{name}: {len(latencies)} executions, "
+              f"median {median(latencies):.3f} ms")
+        if latest is not None and latest.result.rows:
+            sample = [tuple(engine.strings.entity_name(v) for v in row)
+                      for row in latest.result.rows[:3]]
+            print(f"  latest window ({latest.close_ms / 1000:.0f}s): "
+                  f"{len(latest.result.rows)} rows, e.g. {sample}")
+
+    # A city operator's one-shot query over the absorbed observations.
+    record = engine.oneshot(
+        "SELECT ?S ?L WHERE { ?S onRoad Road0 . ?S congestion ?L }")
+    rows = [tuple(engine.strings.entity_name(v) for v in row)
+            for row in record.result.rows]
+    print(f"\none-shot: congestion readings ever absorbed for Road0: "
+          f"{len(rows)} rows ({record.latency_ms:.3f} ms)")
+
+
+if __name__ == "__main__":
+    main()

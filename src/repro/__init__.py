@@ -1,0 +1,27 @@
+"""Wukong+S reproduction: sub-millisecond stateful stream querying over
+fast-evolving linked data (SOSP 2017).
+
+Public entry points:
+
+* :class:`repro.core.engine.WukongSEngine` — the integrated engine
+  (continuous C-SPARQL + one-shot SPARQL over a hybrid store);
+* :mod:`repro.baselines` — every comparison system from the paper;
+* :mod:`repro.bench` — LSBench / CityBench generators and the experiment
+  harness.
+"""
+
+from repro.core.engine import EngineConfig, WukongSEngine
+from repro.sparql.parser import parse_query
+from repro.streams.source import StreamSource
+from repro.streams.stream import StreamSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WukongSEngine",
+    "EngineConfig",
+    "parse_query",
+    "StreamSource",
+    "StreamSchema",
+    "__version__",
+]

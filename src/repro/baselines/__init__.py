@@ -1,0 +1,26 @@
+"""Baseline systems the paper compares against, rebuilt in miniature.
+
+Every baseline really executes its design's algorithm — relational window
+scans and hash joins, cross-system tuple transformation, mini-batch
+scheduling, unbounded-table scans — priced by the same
+:class:`~repro.sim.cost.CostModel` as Wukong+S, so the measured gaps come
+from the work each design performs.
+"""
+
+from repro.baselines.relational import WindowBuffer, scan_pattern, hash_join
+from repro.baselines.composite import CompositeEngine
+from repro.baselines.csparql_engine import CSparqlEngine
+from repro.baselines.spark import SparkStreamingEngine
+from repro.baselines.structured import StructuredStreamingEngine
+from repro.baselines.wukong_ext import WukongExtEngine
+
+__all__ = [
+    "WindowBuffer",
+    "scan_pattern",
+    "hash_join",
+    "CompositeEngine",
+    "CSparqlEngine",
+    "SparkStreamingEngine",
+    "StructuredStreamingEngine",
+    "WukongExtEngine",
+]

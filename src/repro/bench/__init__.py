@@ -1,0 +1,23 @@
+"""Workload generators and the experiment harness.
+
+``lsbench`` and ``citybench`` are deterministic miniatures of the two
+benchmarks the paper evaluates with; ``harness`` builds engines, drives
+experiments and formats paper-style tables; ``metrics`` provides
+percentiles, CDFs and geometric means; ``workload`` drives the
+mixed-concurrency throughput experiments (Figs. 14-15).
+"""
+
+from repro.bench.lsbench import LSBench, LSBenchConfig
+from repro.bench.citybench import CityBench, CityBenchConfig
+from repro.bench.metrics import cdf_points, geo_mean, median, percentile
+
+__all__ = [
+    "LSBench",
+    "LSBenchConfig",
+    "CityBench",
+    "CityBenchConfig",
+    "cdf_points",
+    "geo_mean",
+    "median",
+    "percentile",
+]

@@ -1,0 +1,54 @@
+"""Latency statistics used throughout the evaluation.
+
+The paper reports medians (50th percentile of one hundred runs), 90th/99th
+percentiles, latency CDFs (Figs. 14b/15b) and geometric means across query
+classes (the "Geo. M" rows of Tables 2-4 and 9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (``p`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100]: {p}")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(values, 50)
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean (requires strictly positive values)."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """The empirical CDF as (value, cumulative fraction) points."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,108 @@
+"""Text-mode figure rendering for the benchmark harness.
+
+The paper's figures (12-15) are line charts and latency CDFs; since the
+benchmarks print to a terminal, this module renders them as ASCII grids so
+`bench_output.txt` carries the figures, not just their tables.
+
+Only the standard library is used; the renderer is deterministic and unit
+tested (grid size, marker placement, axis bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Series markers, assigned in insertion order.
+MARKERS = "*o+x#@%&"
+
+Point = Tuple[float, float]
+
+
+def _scale(value: float, lo: float, hi: float, size: int,
+           log: bool = False) -> int:
+    """Map ``value`` in [lo, hi] onto a cell index in [0, size-1]."""
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    ratio = (value - lo) / (hi - lo)
+    return max(0, min(size - 1, round(ratio * (size - 1))))
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"
+
+
+def line_chart(series: Dict[str, Sequence[Point]], title: str = "",
+               width: int = 56, height: int = 12,
+               x_label: str = "", y_label: str = "",
+               log_y: bool = False) -> str:
+    """Render named (x, y) series on one ASCII grid.
+
+    >>> chart = line_chart({"L1": [(1, 1.0), (2, 2.0)]}, title="demo")
+    >>> "demo" in chart and "L1" in chart
+    True
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y needs strictly positive values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log=log_y)
+            grid[row][col] = marker
+
+    top_tick = _format_tick(y_hi)
+    bottom_tick = _format_tick(y_lo)
+    gutter = max(len(top_tick), len(bottom_tick)) + 1
+    out = []
+    if title:
+        out.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_tick
+        elif row_index == height - 1:
+            label = bottom_tick
+        else:
+            label = ""
+        out.append(f"{label.rjust(gutter)} |{''.join(row)}")
+    out.append(" " * gutter + " +" + "-" * width)
+    x_axis = (f"{_format_tick(x_lo)}"
+              f"{_format_tick(x_hi).rjust(width - len(_format_tick(x_lo)))}")
+    out.append(" " * gutter + "  " + x_axis)
+    footer = "   ".join(legend)
+    if x_label or y_label:
+        footer += f"   [x: {x_label}; y: {y_label}" + \
+            (", log scale]" if log_y else "]")
+    out.append(footer)
+    return "\n".join(out)
+
+
+def cdf_chart(series: Dict[str, Sequence[Point]], title: str = "",
+              width: int = 56, height: int = 12,
+              x_label: str = "latency ms") -> str:
+    """Render latency CDFs: x = value, y = cumulative fraction (0..1)."""
+    clamped = {
+        name: [(x, max(0.0, min(1.0, y))) for x, y in pts]
+        for name, pts in series.items()
+    }
+    return line_chart(clamped, title=title, width=width, height=height,
+                      x_label=x_label, y_label="CDF")

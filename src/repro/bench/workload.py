@@ -1,0 +1,110 @@
+"""Mixed-concurrency workloads: the throughput experiments (Figs. 14-15).
+
+The paper emulates clients that register as many continuous queries as the
+cluster can absorb: each node runs 16 dedicated query workers, every query
+occupies one worker for its execution latency, and the class mix follows
+the reciprocal of each class's average latency.  Peak throughput is then
+
+    throughput = total_workers / mixture_mean_latency
+
+which for the paper's numbers gives 128 workers / 0.118 ms = 1.08 M
+queries/s — the model this driver implements on top of *measured*
+per-class latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import build_wukongs
+from repro.bench.metrics import cdf_points, mean, percentile
+from repro.core.engine import WukongSEngine
+from repro.sim.rng import make_rng
+
+
+@dataclass
+class MixedWorkloadResult:
+    """Outcome of one mixed-workload run."""
+
+    num_nodes: int
+    total_workers: int
+    per_class_latencies_ms: Dict[str, List[float]]
+    mixture_weights: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mixture_mean_latency_ms(self) -> float:
+        """Mean latency under the reciprocal-latency class mixture."""
+        means = {name: mean(samples)
+                 for name, samples in self.per_class_latencies_ms.items()
+                 if samples}
+        inverse_sum = sum(1.0 / m for m in means.values())
+        return len(means) / inverse_sum
+
+    @property
+    def throughput_qps(self) -> float:
+        """Peak queries/second: workers divided by mixture mean latency."""
+        mean_s = self.mixture_mean_latency_ms / 1e3
+        return self.total_workers / mean_s
+
+    def latency_percentile_ms(self, p: float) -> float:
+        """Percentile over the mixture-weighted latency population."""
+        population = self._mixture_population()
+        return percentile(population, p)
+
+    def class_cdf(self, name: str):
+        """The latency CDF of one class (Fig. 14b / 15b)."""
+        return cdf_points(self.per_class_latencies_ms[name])
+
+    def _mixture_population(self) -> List[float]:
+        means = {name: mean(samples)
+                 for name, samples in self.per_class_latencies_ms.items()
+                 if samples}
+        inverse_sum = sum(1.0 / m for m in means.values())
+        population: List[float] = []
+        for name, samples in self.per_class_latencies_ms.items():
+            if not samples:
+                continue
+            weight = (1.0 / means[name]) / inverse_sum
+            # Replicate each class's samples proportionally to its share
+            # of the executed-query mix.
+            copies = max(1, round(weight * 100))
+            population.extend(samples * copies)
+        return population
+
+
+def run_mixed_workload(bench, classes: Sequence[str], num_nodes: int,
+                       duration_ms: int = 6_000,
+                       variants_per_class: int = 4,
+                       batch_interval_ms: int = 100,
+                       seed: int = 11,
+                       engine: Optional[WukongSEngine] = None
+                       ) -> MixedWorkloadResult:
+    """Register ``variants_per_class`` instances of each query class (with
+    randomized constant start vertices, as §6.6 describes), run the
+    simulation, and fold the measured latencies into throughput."""
+    rng = make_rng(seed, "mixed", num_nodes, tuple(classes))
+    if engine is None:
+        engine = build_wukongs(bench, num_nodes, duration_ms,
+                               batch_interval_ms=batch_interval_ms)
+    handles: Dict[str, List] = {name: [] for name in classes}
+    for class_name in classes:
+        for k in range(variants_per_class):
+            start_user = rng.randrange(bench.config.num_users) \
+                if hasattr(bench.config, "num_users") else k
+            text = bench.continuous_query(class_name, start_user)
+            text = text.replace(f"QUERY {class_name} ",
+                                f"QUERY {class_name}_{k} ")
+            handles[class_name].append(engine.register_continuous(text))
+    engine.run_until(duration_ms)
+
+    latencies = {
+        name: [rec.latency_ms
+               for handle in class_handles
+               for rec in handle.executions]
+        for name, class_handles in handles.items()
+    }
+    return MixedWorkloadResult(
+        num_nodes=num_nodes,
+        total_workers=engine.cluster.total_workers,
+        per_class_latencies_ms=latencies)

@@ -1,0 +1,23 @@
+"""Client-side machinery (§3, Fig. 5a).
+
+Each client runs a *client library* that parses C-SPARQL/SPARQL text into
+stored procedures (cached, so repeated submissions skip the parser) and
+talks to the engine; a *proxy pool* optionally runs the library on
+dedicated nodes and balances massive client populations across the
+cluster, as the paper's throughput experiments emulate (§6.6).
+"""
+
+from repro.client.procedures import ProcedureCache, StoredProcedure
+from repro.client.library import ClientLibrary, ClientResult, \
+    ClientSubscription
+from repro.client.proxy import Proxy, ProxyPool
+
+__all__ = [
+    "ProcedureCache",
+    "StoredProcedure",
+    "ClientLibrary",
+    "ClientResult",
+    "ClientSubscription",
+    "Proxy",
+    "ProxyPool",
+]

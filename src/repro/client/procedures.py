@@ -1,0 +1,67 @@
+"""Stored procedures: client-side parsed queries.
+
+The client library "can parse continuous and one-shot queries into a set
+of stored procedures, which will be immediately executed for one-shot
+queries or registered for continuous queries on the server side" (§3).
+Parsing happens once per distinct query text; repeated submissions reuse
+the cached procedure, which is how web front-ends serve many users with a
+small query catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sparql.ast import Query, is_variable
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import ExecutionPlan, plan_query
+
+
+@dataclass(frozen=True)
+class StoredProcedure:
+    """One parsed + planned query, ready for submission."""
+
+    text: str
+    query: Query
+    plan: ExecutionPlan
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.query.is_continuous
+
+    def constants(self) -> List[str]:
+        """The constant terms whose IDs the client must resolve up front
+        (the string-server round trip that keeps long strings off the
+        servers)."""
+        seen: List[str] = []
+        for pattern in self.query.patterns:
+            for term in (pattern.subject, pattern.object):
+                if not is_variable(term) and term not in seen:
+                    seen.append(term)
+        return seen
+
+
+class ProcedureCache:
+    """Per-client cache of parsed procedures."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, StoredProcedure] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, text: str) -> StoredProcedure:
+        """Parse (or fetch the cached) procedure for ``text``."""
+        procedure = self._cache.get(text)
+        if procedure is not None:
+            self.hits += 1
+            return procedure
+        self.misses += 1
+        query = parse_query(text)
+        procedure = StoredProcedure(text=text, query=query,
+                                    plan=plan_query(query))
+        self._cache[text] = procedure
+        return procedure
+
+    def __len__(self) -> int:
+        return len(self._cache)

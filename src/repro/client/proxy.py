@@ -1,0 +1,87 @@
+"""Dedicated proxies: running the client library near the cluster.
+
+"Alternatively, Wukong+S can use a set of dedicated proxies to run the
+client-side library and balance client requests" (§3).  A
+:class:`ProxyPool` spreads one-shot submissions across proxies (and the
+proxies spread them across server nodes), so a massive client population
+never funnels through one node.  Each proxy shares one procedure cache
+across all the clients it fronts — the multiplexing benefit of proxies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.client.library import ClientLibrary, ClientResult, \
+    ClientSubscription
+from repro.core.engine import WukongSEngine
+
+
+@dataclass
+class ProxyStats:
+    """Request counters for one proxy."""
+
+    oneshot_requests: int = 0
+    registrations: int = 0
+
+
+class Proxy:
+    """One proxy: a shared client library pinned near one server node."""
+
+    def __init__(self, engine: WukongSEngine, proxy_id: int,
+                 affinity_node: int):
+        self.proxy_id = proxy_id
+        self.affinity_node = affinity_node
+        self.library = ClientLibrary(engine, client_id=f"proxy{proxy_id}",
+                                     include_network=True)
+        self.stats = ProxyStats()
+
+    def submit(self, text: str) -> ClientResult:
+        self.stats.oneshot_requests += 1
+        return self.library.submit(text, home_node=self.affinity_node)
+
+    def register(self, text: str) -> ClientSubscription:
+        self.stats.registrations += 1
+        # Continuous queries keep locality-aware placement: the engine
+        # decides the home node, not the proxy.
+        return self.library.register(text, home_node=None)
+
+
+class ProxyPool:
+    """Round-robin load balancing over a set of proxies."""
+
+    def __init__(self, engine: WukongSEngine, num_proxies: Optional[int] = None):
+        if num_proxies is None:
+            num_proxies = engine.cluster.num_nodes
+        if num_proxies < 1:
+            raise ValueError(f"need at least one proxy: {num_proxies}")
+        self.engine = engine
+        self.proxies: List[Proxy] = [
+            Proxy(engine, proxy_id=i,
+                  affinity_node=i % engine.cluster.num_nodes)
+            for i in range(num_proxies)
+        ]
+        self._next = 0
+
+    def _pick(self) -> Proxy:
+        proxy = self.proxies[self._next % len(self.proxies)]
+        self._next += 1
+        return proxy
+
+    def submit(self, text: str) -> ClientResult:
+        """Route a one-shot query through the next proxy."""
+        return self._pick().submit(text)
+
+    def register(self, text: str) -> ClientSubscription:
+        """Register a continuous query through the next proxy."""
+        return self._pick().register(text)
+
+    # -- observability ----------------------------------------------------
+    def request_counts(self) -> Dict[int, int]:
+        return {proxy.proxy_id: proxy.stats.oneshot_requests
+                for proxy in self.proxies}
+
+    @property
+    def total_requests(self) -> int:
+        return sum(p.stats.oneshot_requests for p in self.proxies)

@@ -1,0 +1,19 @@
+"""Wukong+S core: the integrated stateful stream-querying engine.
+
+The public entry point is :class:`~repro.core.engine.WukongSEngine`, which
+wires together the hybrid store (§4.1), the stream index (§4.2), the
+Adaptor/Dispatcher/Injector pipeline (Fig. 5) and the consistency machinery
+(vector timestamps + bounded snapshot scalarization, §4.3).
+"""
+
+from repro.core.vts import VectorTimestamp
+from repro.core.snapshot import SNMapping, SNVTSPlan
+from repro.core.engine import WukongSEngine, EngineConfig
+
+__all__ = [
+    "VectorTimestamp",
+    "SNMapping",
+    "SNVTSPlan",
+    "WukongSEngine",
+    "EngineConfig",
+]

@@ -1,0 +1,167 @@
+"""Store accesses used by continuous queries.
+
+A continuous query mixes patterns over stream windows with patterns over
+stored data.  The executor stays source-agnostic: registration builds one
+:class:`WindowAccess` per consumed stream (dispatching timeless predicates
+to the stream index + persistent store and timing predicates to the
+transient store) and a snapshot-bounded
+:class:`~repro.store.distributed.PersistentAccess` for stored patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.stream_index import StreamIndexRegistry
+from repro.core.transient import TransientStore
+from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
+from repro.rdf.string_server import StringServer
+from repro.sim.cluster import Cluster
+from repro.sim.cost import LatencyMeter
+from repro.store.distributed import DistributedStore
+from repro.store.kvstore import ValueSpan
+from repro.streams.stream import StreamSchema
+
+#: Approximate wire size of one remote index/transient probe result.
+_PROBE_BYTES = 64
+
+
+def _merge_spans(spans):
+    """Coalesce contiguous same-owner spans of the same key.
+
+    The injector appends batch data to each key's value list in batch
+    order, so spans from consecutive window batches line up end-to-start.
+    """
+    merged = []
+    for owner, span in spans:
+        if merged:
+            last_owner, last = merged[-1]
+            if (last_owner == owner and last.key == span.key
+                    and last.offset + last.length == span.offset):
+                merged[-1] = (owner, ValueSpan(span.key, last.offset,
+                                               last.length + span.length))
+                continue
+        merged.append((owner, span))
+    return merged
+
+
+class WindowAccess:
+    """`StoreAccess` over one stream's window, as seen from one node.
+
+    Parameters
+    ----------
+    stream_schema:
+        Classifies predicates into timing (transient store) and timeless
+        (stream index into the persistent store).
+    first_batch / last_batch:
+        Inclusive batch range of the window being read.
+    transients:
+        Per-node transient stores of this stream.
+    home_node:
+        The node executing the query (prices remote accesses).
+    """
+
+    def __init__(self, cluster: Cluster, store: DistributedStore,
+                 strings: StringServer, registry: StreamIndexRegistry,
+                 stream_schema: StreamSchema,
+                 transients: List[TransientStore],
+                 first_batch: int, last_batch: int, home_node: int = 0,
+                 force_local_index: bool = False):
+        self.cluster = cluster
+        self.store = store
+        self.strings = strings
+        self.registry = registry
+        self.schema = stream_schema
+        self.transients = transients
+        self.first_batch = first_batch
+        self.last_batch = last_batch
+        self.home_node = home_node
+        # Registered queries have the index replicated to their node;
+        # distributed branches get on-demand replicas (§4.2).
+        self._index_local = force_local_index or \
+            registry.is_local(stream_schema.name, home_node)
+
+    # -- StoreAccess protocol ------------------------------------------------
+    def resolve_entity(self, name: str) -> Optional[int]:
+        return self.strings.lookup_entity(name)
+
+    def resolve_predicate(self, name: str) -> Optional[int]:
+        return self.strings.lookup_predicate(name)
+
+    def neighbors(self, vid: int, eid: int, d: int,
+                  meter: LatencyMeter) -> List[int]:
+        if self.schema.is_timing(self.strings.predicate_name(eid)):
+            return self._timing_neighbors(vid, eid, d, meter)
+        return self._timeless_neighbors(vid, eid, d, meter)
+
+    def index_vertices(self, eid: int, d: int,
+                       meter: LatencyMeter) -> List[int]:
+        if self.schema.is_timing(self.strings.predicate_name(eid)):
+            out: List[int] = []
+            seen = set()
+            for node_id, transient in enumerate(self.transients):
+                if node_id != self.home_node:
+                    self.cluster.fabric.remote_read(meter, _PROBE_BYTES,
+                                                    category="network")
+                for vertex in transient.vertices(
+                        eid, d, self.first_batch, self.last_batch,
+                        meter=meter):
+                    if vertex not in seen:
+                        seen.add(vertex)
+                        out.append(vertex)
+            return out
+        self._charge_index_locality(meter)
+        return self.registry.index(self.schema.name).vertices(
+            eid, d, self.first_batch, self.last_batch, meter=meter)
+
+    def index_vertices_local(self, eid: int, d: int, node_id: int,
+                             meter: LatencyMeter) -> List[int]:
+        """The window's start vertices owned by ``node_id``.
+
+        Fork-join/migrate branches partition the start set by owner; the
+        stream index is consulted once (it is replicated where needed).
+        """
+        if self.schema.is_timing(self.strings.predicate_name(eid)):
+            return self.transients[node_id].vertices(
+                eid, d, self.first_batch, self.last_batch, meter=meter)
+        vertices = self.registry.index(self.schema.name).vertices(
+            eid, d, self.first_batch, self.last_batch, meter=meter)
+        return [vid for vid in vertices
+                if self.cluster.owner_of(vid) == node_id]
+
+    # -- paths -----------------------------------------------------------------
+    def _timeless_neighbors(self, vid: int, eid: int, d: int,
+                            meter: LatencyMeter) -> List[int]:
+        """Stream-index fast path: span lookups, then direct value reads.
+
+        Spans of one key from consecutive batches are contiguous in the
+        key's value list (injection appends in batch order), so the whole
+        window usually collapses to a single fat pointer — one RDMA read
+        per key, the paper's §5 claim.
+        """
+        self._charge_index_locality(meter)
+        index = self.registry.index(self.schema.name)
+        spans = index.lookup_spans(make_key(vid, eid, d), self.first_batch,
+                                   self.last_batch, meter=meter)
+        found: List[int] = []
+        for owner, span in _merge_spans(spans):
+            found.extend(self.store.span_from(self.home_node, span, owner,
+                                              meter))
+        return found
+
+    def _timing_neighbors(self, vid: int, eid: int, d: int,
+                          meter: LatencyMeter) -> List[int]:
+        """Transient-store path: the data lives on the vertex's owner node."""
+        owner = self.cluster.owner_of(vid)
+        if owner != self.home_node:
+            self.cluster.fabric.remote_read(meter, _PROBE_BYTES,
+                                            category="network")
+        return self.transients[owner].lookup(
+            vid, eid, d, self.first_batch, self.last_batch, meter=meter)
+
+    def _charge_index_locality(self, meter: LatencyMeter) -> None:
+        """A non-replicated index costs one extra remote read per access —
+        exactly the read that locality-aware replication removes (§4.2)."""
+        if not self._index_local:
+            self.cluster.fabric.remote_read(meter, _PROBE_BYTES,
+                                            category="network")

@@ -1,0 +1,222 @@
+"""The continuous query engine: registration and data-driven execution.
+
+A registered continuous query lives on a *home node* (continuous queries
+are light-weight and execute in-place on a single worker, §5); registration
+declares interest in the query's streams so the stream-index registry
+replicates those indexes to the home node (locality-aware partitioning,
+§4.2).  Execution is data-driven: an execution closing at time ``t`` fires
+only once the stable vector timestamp covers the last batch every window
+needs (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.access import WindowAccess
+from repro.core.coordinator import Coordinator
+from repro.core.stream_index import StreamIndexRegistry
+from repro.core.transient import TransientStore
+from repro.errors import RegistrationError
+from repro.rdf.string_server import StringServer
+from repro.sim.cluster import Cluster
+from repro.sim.cost import LatencyMeter
+from repro.sparql.ast import Query
+from repro.sparql.planner import ExecutionPlan, plan_query
+from repro.store.distributed import DistributedStore, PersistentAccess
+from repro.store.executor import ExecutionResult, GraphExplorer
+from repro.streams.stream import StreamSchema
+from repro.streams.window import WindowPlanner
+
+
+@dataclass
+class ExecutionRecord:
+    """One completed execution of a continuous query."""
+
+    close_ms: int
+    result: ExecutionResult
+    meter: LatencyMeter
+
+    @property
+    def latency_ms(self) -> float:
+        return self.meter.ms
+
+
+@dataclass
+class RegisteredQuery:
+    """A continuous query held by the engine."""
+
+    name: str
+    query: Query
+    plan: ExecutionPlan
+    home_node: int
+    planners: Dict[str, WindowPlanner]
+    step_ms: int
+    next_close_ms: int
+    executions: List[ExecutionRecord] = field(default_factory=list)
+
+    def requirement_at(self, close_ms: int) -> Dict[str, int]:
+        """Stream -> last batch number needed for the execution at close_ms."""
+        return {stream: planner.last_batch_needed(close_ms)
+                for stream, planner in self.planners.items()}
+
+
+class ContinuousEngine:
+    """Registration and triggering of continuous queries."""
+
+    def __init__(self, cluster: Cluster, store: DistributedStore,
+                 strings: StringServer, registry: StreamIndexRegistry,
+                 transients: Dict[str, List[TransientStore]],
+                 coordinator: Coordinator, schemas: Dict[str, StreamSchema],
+                 batch_interval_ms: int, stream_start_ms: int = 0):
+        self.cluster = cluster
+        self.store = store
+        self.strings = strings
+        self.registry = registry
+        self.transients = transients
+        self.coordinator = coordinator
+        self.schemas = schemas
+        self.batch_interval_ms = batch_interval_ms
+        self.stream_start_ms = stream_start_ms
+        self.explorer = GraphExplorer(cluster, self.strings)
+        self.queries: Dict[str, RegisteredQuery] = {}
+        self._next_home = 0
+
+    # -- registration -------------------------------------------------------
+    def register(self, query: Query, now_ms: int,
+                 home_node: Optional[int] = None) -> RegisteredQuery:
+        """Register a continuous query; returns its handle.
+
+        The home node defaults to round-robin placement across the cluster
+        (each query is served by one worker; many queries spread out).
+        """
+        if not query.is_continuous:
+            raise RegistrationError(
+                "query has no stream windows; submit it as one-shot instead")
+        name = query.name or f"q{len(self.queries)}"
+        if name in self.queries:
+            raise RegistrationError(f"query name already registered: {name}")
+        for stream in query.windows:
+            if stream not in self.schemas:
+                raise RegistrationError(f"unknown stream: {stream}")
+        plan = plan_query(query)
+        if home_node is None:
+            # Locality-aware placement: a constant-start (selective) query
+            # runs on the node that owns its start vertex, so its window
+            # reads are local and it completes within a single node (§5's
+            # in-place execution).  Index-start queries spread round-robin.
+            home_node = self._locality_home(plan)
+        if home_node is None:
+            home_node = self._next_home % self.cluster.num_nodes
+            self._next_home += 1
+
+        planners = {
+            stream: WindowPlanner(window, self.batch_interval_ms,
+                                  self.stream_start_ms)
+            for stream, window in query.windows.items()
+        }
+        step_ms = min(w.step_ms for w in query.windows.values())
+        registered = RegisteredQuery(
+            name=name, query=query, plan=plan,
+            home_node=home_node, planners=planners, step_ms=step_ms,
+            next_close_ms=now_ms + step_ms)
+        # Locality-aware partitioning: replicate the indexes of the streams
+        # this query consumes onto its home node.
+        for stream in query.windows:
+            self.registry.add_interest(stream, home_node)
+        self.queries[name] = registered
+        return registered
+
+    def _locality_home(self, plan: ExecutionPlan) -> Optional[int]:
+        """Owner node of the plan's constant start vertex, if any."""
+        from repro.sparql.planner import CONST_OBJECT, CONST_SUBJECT
+        step = plan.steps[0]
+        if step.kind == CONST_SUBJECT:
+            term = step.pattern.subject
+        elif step.kind == CONST_OBJECT:
+            term = step.pattern.object
+        else:
+            return None
+        vid = self.strings.lookup_entity(term)
+        return None if vid is None else self.cluster.owner_of(vid)
+
+    def unregister(self, name: str) -> None:
+        registered = self.queries.pop(name, None)
+        if registered is None:
+            raise RegistrationError(f"no such continuous query: {name}")
+        for stream in registered.query.windows:
+            self.registry.drop_interest(stream, registered.home_node)
+
+    # -- execution ------------------------------------------------------------
+    def poll(self, now_ms: int) -> List[ExecutionRecord]:
+        """Execute every registered query whose next window is closed, due
+        and covered by the stable VTS.  Returns the new execution records."""
+        records: List[ExecutionRecord] = []
+        for registered in self.queries.values():
+            while registered.next_close_ms <= now_ms:
+                requirement = registered.requirement_at(
+                    registered.next_close_ms)
+                if not self.coordinator.is_ready(requirement):
+                    break  # data-driven: wait for insertion to catch up
+                records.append(self.execute_once(
+                    registered, registered.next_close_ms))
+                registered.next_close_ms += registered.step_ms
+        return records
+
+    def execute_once(self, registered: RegisteredQuery,
+                     close_ms: int) -> ExecutionRecord:
+        """Run one execution of ``registered`` for the window closing at
+        ``close_ms`` (callers must ensure readiness)."""
+        meter = LatencyMeter()
+        meter.charge(self.cluster.cost.task_dispatch_ns, category="dispatch")
+        meter.charge(self.cluster.cost.trigger_check_ns, category="trigger")
+        factory = self._access_factory(registered, close_ms)
+        result = self.explorer.execute(registered.plan, factory, meter,
+                                       home_node=registered.home_node)
+        record = ExecutionRecord(close_ms=close_ms, result=result,
+                                 meter=meter)
+        registered.executions.append(record)
+        return record
+
+    def _access_factory(self, registered: RegisteredQuery, close_ms: int
+                        ) -> Callable:
+        """Per-node pattern -> StoreAccess factory for one execution.
+
+        Distributed modes (fork-join / migrate) resolve accesses at other
+        nodes; the stream index is available wherever a branch runs (it is
+        replicated on demand, §4.2), so every node's window access treats
+        the index as local.
+        """
+        stable_sn = self.coordinator.stable_sn
+        ranges = {stream: planner.batch_range(close_ms)
+                  for stream, planner in registered.planners.items()}
+        cache: Dict[int, Callable] = {}
+
+        def factory(node_id: int):
+            resolver = cache.get(node_id)
+            if resolver is not None:
+                return resolver
+            window_access: Dict[str, WindowAccess] = {}
+            for stream, (first, last) in ranges.items():
+                # The home node relies on the replica its registration
+                # created (§4.2); branches at other nodes receive
+                # on-demand replicas for the distributed modes.
+                window_access[stream] = WindowAccess(
+                    cluster=self.cluster, store=self.store,
+                    strings=self.strings, registry=self.registry,
+                    stream_schema=self.schemas[stream],
+                    transients=self.transients[stream], first_batch=first,
+                    last_batch=last, home_node=node_id,
+                    force_local_index=(node_id != registered.home_node))
+            stored_access = PersistentAccess(
+                self.store, home_node=node_id, max_sn=stable_sn)
+
+            def resolver(pattern):
+                access = window_access.get(pattern.graph)
+                return access if access is not None else stored_access
+
+            cache[node_id] = resolver
+            return resolver
+
+        return factory

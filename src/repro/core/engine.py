@@ -1,0 +1,429 @@
+"""The Wukong+S engine facade.
+
+Wires the whole execution flow of Fig. 5 together: stream sources feed the
+Adaptor (batching + classification), the Dispatcher partitions each batch
+across nodes, per-node Injectors absorb it into the hybrid store while
+building the stream index, the Coordinator advances vector timestamps and
+the SN plan, and the continuous/one-shot engines serve queries.
+
+Time is simulated: :meth:`WukongSEngine.step` advances one mini-batch
+interval, performing everything due in it; :meth:`run_until` loops.  All
+latency numbers come from :class:`~repro.sim.cost.LatencyMeter` accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.adaptor import AdaptedBatch, Adaptor
+from repro.core.continuous import (ContinuousEngine, ExecutionRecord,
+                                   RegisteredQuery)
+from repro.core.coordinator import Coordinator
+from repro.core.dispatcher import Dispatcher, NodeBatch
+from repro.core.gc import GarbageCollector
+from repro.core.injector import Injector
+from repro.core.oneshot import OneShotEngine, OneShotRecord
+from repro.core.stream_index import IndexSlice, StreamIndexRegistry
+from repro.core.transient import TransientStore
+from repro.errors import StreamError
+from repro.rdf.string_server import StringServer
+from repro.rdf.terms import Triple
+from repro.sim.clock import VirtualClock
+from repro.sim.cluster import Cluster
+from repro.sim.cost import CostModel, LatencyMeter, MemoryModel
+from repro.sparql.ast import Query
+from repro.sparql.parser import parse_query
+from repro.streams.source import StreamSource
+from repro.streams.stream import StreamBatch, StreamSchema
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of one engine instance (defaults follow the paper's setup)."""
+
+    num_nodes: int = 1
+    workers_per_node: int = 16
+    use_rdma: bool = True
+    batch_interval_ms: int = 100
+    stream_start_ms: int = 0
+    plan_width: int = 1
+    keep_snapshots: int = 2
+    scalarization: bool = True
+    injector_threads: int = 1
+    gc_every_ticks: int = 10
+    gc_retention_ms: int = 10_000
+    oneshot_contention: float = 0.05
+    fault_tolerance: bool = False
+    checkpoint_interval_ms: int = 1_000
+    auto_pad_streams: bool = True
+    cost: CostModel = field(default_factory=CostModel)
+    memory: MemoryModel = field(default_factory=MemoryModel)
+
+
+@dataclass
+class InjectionRecord:
+    """Cost accounting for one injected batch (Table 6 inputs)."""
+
+    stream: str
+    batch_no: int
+    num_tuples: int
+    meter: LatencyMeter
+
+    @property
+    def indexing_ms(self) -> float:
+        """Time spent building the batch's stream-index slice."""
+        return self.meter.breakdown_ms.get("indexing", 0.0)
+
+    @property
+    def injection_ms(self) -> float:
+        """Everything else on the batch's path: adapt, dispatch, insert."""
+        return self.meter.ms - self.indexing_ms
+
+    @property
+    def total_ms(self) -> float:
+        return self.meter.ms
+
+
+class WukongSEngine:
+    """The integrated stateful stream-querying engine."""
+
+    def __init__(self, schemas: Iterable[StreamSchema],
+                 config: Optional[EngineConfig] = None):
+        self.config = config if config is not None else EngineConfig()
+        cfg = self.config
+        self.cluster = Cluster(cfg.num_nodes, cfg.workers_per_node,
+                               cost=cfg.cost, use_rdma=cfg.use_rdma)
+        self.strings = StringServer()
+        # Imported here at runtime to avoid a cycle in module docs only.
+        from repro.store.distributed import DistributedStore
+        self.store = DistributedStore(self.cluster, self.strings)
+        self.clock = VirtualClock(cfg.stream_start_ms)
+
+        self.schemas: Dict[str, StreamSchema] = {}
+        self.registry = StreamIndexRegistry(cost=cfg.cost)
+        self.transients: Dict[str, List[TransientStore]] = {}
+        self.adaptors: Dict[str, Adaptor] = {}
+        self.dispatchers: Dict[str, Dispatcher] = {}
+        self.sources: Dict[str, StreamSource] = {}
+        self._pending: Dict[str, Deque[StreamBatch]] = {}
+        self._last_delivered: Dict[str, int] = {}
+        self._raw_bytes: Dict[str, int] = {}
+
+        for schema in schemas:
+            self._add_stream_state(schema)
+
+        self.coordinator = Coordinator(
+            cfg.num_nodes, list(self.schemas), plan_width=cfg.plan_width,
+            keep_snapshots=cfg.keep_snapshots,
+            scalarization=cfg.scalarization, cost=cfg.cost)
+        self.injectors = [
+            Injector(node_id, self.store,
+                     {s: shards[node_id] for s, shards in
+                      self.transients.items()},
+                     threads=cfg.injector_threads)
+            for node_id in range(cfg.num_nodes)
+        ]
+        self.continuous = ContinuousEngine(
+            self.cluster, self.store, self.strings, self.registry,
+            self.transients, self.coordinator, self.schemas,
+            cfg.batch_interval_ms, cfg.stream_start_ms)
+        self.oneshot_engine = OneShotEngine(
+            self.cluster, self.store, self.coordinator,
+            contention_factor=cfg.oneshot_contention)
+        self.gc = GarbageCollector(
+            self.registry, self.transients, self.continuous,
+            cfg.batch_interval_ms, cfg.stream_start_ms,
+            retention_ms=cfg.gc_retention_ms)
+
+        from repro.core.checkpoint import CheckpointManager
+        self.checkpoints = CheckpointManager(
+            cfg.cost, interval_ms=cfg.checkpoint_interval_ms,
+            num_nodes=cfg.num_nodes) \
+            if cfg.fault_tolerance else None
+
+        self.injection_records: List[InjectionRecord] = []
+        self._initial_triples: List[Triple] = []
+        self._ticks = 0
+
+    # -- stream wiring -----------------------------------------------------
+    def _add_stream_state(self, schema: StreamSchema) -> None:
+        if schema.name in self.schemas:
+            raise StreamError(f"stream declared twice: {schema.name}")
+        cfg = self.config
+        self.schemas[schema.name] = schema
+        self.registry.create_stream(schema.name, memory=cfg.memory)
+        self.transients[schema.name] = [
+            TransientStore(schema.name, cost=cfg.cost, memory=cfg.memory)
+            for _ in range(cfg.num_nodes)
+        ]
+        self.adaptors[schema.name] = Adaptor(schema, self.strings,
+                                             cost=cfg.cost)
+        source_node = len(self.dispatchers) % cfg.num_nodes
+        self.dispatchers[schema.name] = Dispatcher(
+            self.cluster, source_node=source_node, memory=cfg.memory)
+        self._pending[schema.name] = deque()
+        self._last_delivered[schema.name] = 0
+        self._raw_bytes[schema.name] = 0
+
+    def add_stream(self, schema: StreamSchema) -> None:
+        """Dynamically register a new stream (§4.3: the SN plan extends
+        transparently)."""
+        self._add_stream_state(schema)
+        self.coordinator.add_stream(schema.name)
+        for injector in self.injectors:
+            injector.transients[schema.name] = \
+                self.transients[schema.name][injector.node_id]
+
+    def attach_source(self, source: StreamSource) -> None:
+        """Connect a stream source (its schema must be registered)."""
+        name = source.schema.name
+        if name not in self.schemas:
+            raise StreamError(f"unknown stream: {name}")
+        self.sources[name] = source
+
+    # -- loading ---------------------------------------------------------------
+    def load_static(self, triples: Iterable[Triple]) -> int:
+        """Bulk-load the initially stored data (kept for recovery)."""
+        count = 0
+        for triple in triples:
+            self._initial_triples.append(triple)
+            self.store.insert_encoded(self.strings.encode_triple(triple))
+            count += 1
+        return count
+
+    # -- queries -----------------------------------------------------------------
+    def register_continuous(self, query: Union[str, Query],
+                            home_node: Optional[int] = None
+                            ) -> RegisteredQuery:
+        """Register a C-SPARQL continuous query (text or parsed)."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return self.continuous.register(parsed, self.clock.now_ms,
+                                        home_node=home_node)
+
+    def oneshot(self, query: Union[str, Query],
+                home_node: Optional[int] = None) -> OneShotRecord:
+        """Execute a one-shot SPARQL query at the stable snapshot."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        contended = bool(self.continuous.queries)
+        return self.oneshot_engine.execute(parsed, home_node=home_node,
+                                           contended=contended)
+
+    def oneshot_time_scoped(self, query: Union[str, Query], start_ms: int,
+                            end_ms: int,
+                            home_node: Optional[int] = None
+                            ) -> OneShotRecord:
+        """Time-scoped one-shot query: stream patterns read a historical
+        interval instead of a sliding window.
+
+        This is the paper's footnote-10 extension ("Wukong+S can support
+        time-based one-shot queries by Time-ontology if needed"): the
+        query's ``GRAPH <stream>`` patterns match tuples whose batches
+        fall inside ``[start_ms, end_ms)`` — provided the stream index
+        still retains them (raises :class:`~repro.errors.StoreError` once
+        GC has reclaimed the interval); stored patterns read the stable
+        snapshot as usual.
+        """
+        from repro.core.access import WindowAccess
+        from repro.store.distributed import PersistentAccess
+        from repro.errors import StoreError
+
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if not parsed.windows:
+            raise StoreError(
+                "time-scoped queries need at least one stream GRAPH; "
+                "use oneshot() for purely stored queries")
+        if end_ms <= start_ms:
+            raise StoreError(f"empty time scope: [{start_ms}, {end_ms})")
+        cfg = self.config
+        interval = cfg.batch_interval_ms
+        first = (max(0, start_ms - cfg.stream_start_ms)) // interval + 1
+        last = (end_ms - cfg.stream_start_ms + interval - 1) // interval
+        if home_node is None:
+            home_node = 0
+
+        window_access = {}
+        for stream in parsed.windows:
+            if stream not in self.schemas:
+                raise StreamError(f"unknown stream: {stream}")
+            index = self.registry.index(stream)
+            if first < index.collected_before:
+                raise StoreError(
+                    f"time scope [{start_ms}, {end_ms}) of stream "
+                    f"{stream} was garbage-collected (batches below "
+                    f"#{index.collected_before} are gone)")
+            window_access[stream] = WindowAccess(
+                cluster=self.cluster, store=self.store,
+                strings=self.strings, registry=self.registry,
+                stream_schema=self.schemas[stream],
+                transients=self.transients[stream], first_batch=first,
+                last_batch=last, home_node=home_node,
+                force_local_index=True)
+        stored = PersistentAccess(self.store, home_node=home_node,
+                                  max_sn=self.coordinator.stable_sn)
+
+        def factory(node_id):
+            def resolver(pattern):
+                access = window_access.get(pattern.graph)
+                return access if access is not None else stored
+            return resolver
+
+        from repro.sparql.planner import plan_query as _plan
+        from repro.sim.cost import LatencyMeter
+        meter = LatencyMeter()
+        meter.charge(cfg.cost.task_dispatch_ns, category="dispatch")
+        result = self.oneshot_engine.explorer.execute(
+            _plan(parsed), factory, meter, home_node=home_node)
+        from repro.core.oneshot import OneShotRecord
+        return OneShotRecord(result=result, meter=meter,
+                             snapshot=self.coordinator.stable_sn)
+
+    # -- simulation loop ------------------------------------------------------------
+    def step(self) -> List[ExecutionRecord]:
+        """Advance one mini-batch interval; returns new continuous results."""
+        cfg = self.config
+        now = self.clock.advance(cfg.batch_interval_ms)
+        self._deliver_batches(now)
+        self._pump_injection()
+        checkpointed = False
+        if self.checkpoints is not None:
+            checkpointed = self.checkpoints.maybe_checkpoint(
+                now, self.coordinator, self.sources)
+        records = self.continuous.poll(now)
+        if checkpointed and self.checkpoints is not None:
+            # Queries co-scheduled with the incremental checkpoint wait
+            # behind its write (the paper's p99 growth in §6.8).
+            pause_ns = self.checkpoints.last_checkpoint_pause_ms * 1e6
+            for record in records:
+                record.meter.charge(pause_ns, category="checkpoint")
+        self._ticks += 1
+        if cfg.gc_every_ticks and self._ticks % cfg.gc_every_ticks == 0:
+            self.gc.run(now)
+        return records
+
+    def run_until(self, when_ms: int) -> List[ExecutionRecord]:
+        """Step the simulation until the clock reaches ``when_ms``."""
+        records: List[ExecutionRecord] = []
+        while self.clock.now_ms < when_ms:
+            records.extend(self.step())
+        return records
+
+    # -- internals -------------------------------------------------------------
+    def _deliver_batches(self, now_ms: int) -> None:
+        """Move batches whose interval has closed from sources to pending."""
+        cfg = self.config
+        for name in self.schemas:
+            source = self.sources.get(name)
+            pending = self._pending[name]
+            while source is not None and source.has_pending:
+                head = source.next_batch()
+                assert head is not None
+                if head.end_ms > now_ms:
+                    # Arrived from the future: keep for a later tick by
+                    # pushing back is impossible (sources are FIFO), so
+                    # stage it in pending; injection checks readiness.
+                    pending.append(head)
+                    break
+                pending.append(head)
+            if cfg.auto_pad_streams:
+                self._pad_stream(name, now_ms)
+
+    def _pad_stream(self, name: str, now_ms: int) -> None:
+        """Synthesize empty batches so idle streams keep the VTS moving."""
+        cfg = self.config
+        last_known = self._last_delivered[name]
+        pending = self._pending[name]
+        if pending:
+            last_known = max(last_known, pending[-1].batch_no)
+        due = (now_ms - cfg.stream_start_ms) // cfg.batch_interval_ms
+        for batch_no in range(last_known + 1, due + 1):
+            start = cfg.stream_start_ms + (batch_no - 1) * cfg.batch_interval_ms
+            pending.append(StreamBatch(
+                stream=name, batch_no=batch_no, start_ms=start,
+                end_ms=start + cfg.batch_interval_ms))
+
+    def _pump_injection(self) -> None:
+        """Inject every pending batch the SN plan currently admits."""
+        progress = True
+        while progress:
+            progress = False
+            for name in self.schemas:
+                pending = self._pending[name]
+                while pending:
+                    batch = pending[0]
+                    if batch.end_ms > self.clock.now_ms:
+                        break
+                    sn = self.coordinator.sn_for_batch(name, batch.batch_no)
+                    if sn is None:
+                        break  # stalled until the next SN mapping
+                    pending.popleft()
+                    self._inject_batch(batch, sn)
+                    self._last_delivered[name] = batch.batch_no
+                    progress = True
+                self.coordinator.advance(self.store)
+
+    def _inject_batch(self, batch: StreamBatch, sn: int) -> None:
+        """Run one batch through Adaptor -> Dispatcher -> Injectors."""
+        meter = LatencyMeter()
+        adaptor = self.adaptors[batch.stream]
+        adapted = adaptor.adapt(batch, meter=meter)
+        self._raw_bytes[batch.stream] += \
+            self.config.memory.tuple_bytes * adapted.num_tuples
+        node_batches = self.dispatchers[batch.stream].dispatch(adapted,
+                                                               meter=meter)
+        needs_index = bool(adapted.timeless)
+        index_slice = IndexSlice(batch.batch_no) if needs_index else None
+        branches = []
+        for node_id, node_batch in node_batches.items():
+            branch = meter.spawn()
+            self.injectors[node_id].inject(node_batch, sn, index_slice,
+                                           meter=branch)
+            if self.checkpoints is not None:
+                self.checkpoints.log_batch(node_id, node_batch, sn,
+                                           meter=branch)
+            branches.append(branch)
+            self.coordinator.on_batch_inserted(node_id, batch.stream,
+                                               batch.batch_no, meter=branch)
+        meter.join_parallel(branches)
+        if index_slice is not None:
+            self.registry.index(batch.stream).append_slice(index_slice,
+                                                           meter=meter)
+        self.injection_records.append(InjectionRecord(
+            stream=batch.stream, batch_no=batch.batch_no,
+            num_tuples=adapted.num_tuples, meter=meter))
+
+    # -- fault injection / recovery -----------------------------------------------
+    def crash_node(self, node_id: int) -> None:
+        """Fail one node, losing its in-memory shard and transient stores."""
+        from repro.store.kvstore import ShardStore
+        self.cluster.kill_node(node_id)
+        self.store.shards[node_id] = ShardStore(self.config.cost)
+        for shards in self.transients.values():
+            shards[node_id] = TransientStore(
+                shards[node_id].stream, cost=self.config.cost,
+                memory=self.config.memory)
+        self.injectors[node_id].transients = {
+            stream: shards[node_id]
+            for stream, shards in self.transients.items()
+        }
+
+    def recover_node(self, node_id: int) -> None:
+        """Recover a crashed node from checkpoints + upstream backup (§5)."""
+        if self.checkpoints is None:
+            raise StreamError(
+                "fault tolerance is disabled; enable it in EngineConfig")
+        from repro.core.checkpoint import recover_node
+        recover_node(self, node_id)
+
+    # -- accounting ------------------------------------------------------------
+    def raw_stream_bytes(self, stream: str) -> int:
+        """Raw bytes that have arrived on ``stream`` (Table 7 numerator)."""
+        return self._raw_bytes[stream]
+
+    def stream_index_bytes(self, stream: str) -> int:
+        """Replica-weighted stream-index bytes (Table 7 denominator)."""
+        return self.registry.memory_bytes(stream)
+
+    def store_memory_bytes(self) -> int:
+        return self.store.memory_bytes()

@@ -1,0 +1,104 @@
+"""The Injector: absorbing dispatched batches into the hybrid store.
+
+One injector per node inserts the node-local halves of each batch:
+
+* timeless tuples go to the persistent store under the batch's snapshot
+  number, and every inserted span is collected into the batch's stream-
+  index slice (the index is built *along with* injection, §4.2);
+* timing tuples go to the stream's transient store on this node;
+* finally the node's Local_VTS advances, making the batch eligible to
+  become visible once all nodes have done the same.
+
+When massive streams or high rates demand it, an injector runs multiple
+threads: "Wukong+S will statically partition the key space of the store
+and exclusively assign one partition to one thread, which can avoid using
+locks during injection" (§4.1).  Threads work in parallel, so the batch's
+injection latency is the slowest partition's; the dispatcher's by-owner
+partitioning already guarantees no cross-node contention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.dispatcher import NodeBatch
+from repro.core.stream_index import IndexSlice
+from repro.core.transient import TransientStore
+from repro.rdf.terms import EncodedTuple
+from repro.sim.cost import LatencyMeter
+from repro.store.distributed import DistributedStore
+
+
+class Injector:
+    """The injector of one node (one or more lock-free threads)."""
+
+    def __init__(self, node_id: int, store: DistributedStore,
+                 transients: Dict[str, TransientStore], threads: int = 1):
+        if threads < 1:
+            raise ValueError(f"need at least one injector thread: {threads}")
+        self.node_id = node_id
+        self.store = store
+        self.transients = transients
+        self.threads = threads
+        self.tuples_injected = 0
+
+    #: Fibonacci multiplicative mixing: thread partitioning must not alias
+    #: the cluster's modulo placement (a node only holds vids congruent
+    #: modulo num_nodes, so `vid % threads` would collapse partitions).
+    _MIX = 0x9E3779B97F4A7C15
+
+    def _partition(self, tuples: List[EncodedTuple],
+                   by_subject: bool) -> List[List[EncodedTuple]]:
+        """Statically split tuples by the key-space partition they touch."""
+        if self.threads == 1:
+            return [tuples]
+        parts: List[List[EncodedTuple]] = [[] for _ in range(self.threads)]
+        for encoded in tuples:
+            key_vid = encoded.triple.s if by_subject else encoded.triple.o
+            slot = ((key_vid * self._MIX) >> 32) % self.threads
+            parts[slot].append(encoded)
+        return parts
+
+    def inject(self, node_batch: NodeBatch, sn: int,
+               index_slice: Optional[IndexSlice],
+               meter: Optional[LatencyMeter] = None) -> None:
+        """Insert one node batch under snapshot ``sn``.
+
+        ``index_slice`` is the (cluster-wide) stream-index slice being
+        built for this batch; the injector contributes the spans it
+        creates.  It is None for streams carrying only timing data (e.g.
+        LSBench's GPS stream), which need no stream index.
+        """
+        branches: List[LatencyMeter] = []
+        out_parts = self._partition(node_batch.out_timeless, True)
+        in_parts = self._partition(node_batch.in_timeless, False)
+        for thread in range(len(out_parts)):
+            branch = meter.spawn() if meter is not None else None
+            for encoded in out_parts[thread]:
+                span = self.store.insert_out_edge(encoded.triple, sn=sn,
+                                                  meter=branch)
+                if index_slice is not None:
+                    index_slice.add_span(self.node_id, span)
+                self.tuples_injected += 1
+            for encoded in in_parts[thread]:
+                span = self.store.insert_in_edge(encoded.triple, sn=sn,
+                                                 meter=branch)
+                if index_slice is not None:
+                    index_slice.add_span(self.node_id, span)
+            if branch is not None:
+                branches.append(branch)
+        if meter is not None:
+            meter.join_parallel(branches)
+
+        if node_batch.out_timing or node_batch.in_timing:
+            transient = self.transients[node_batch.stream]
+            transient.append_slice(node_batch.batch_no,
+                                   node_batch.out_timing,
+                                   node_batch.in_timing, meter=meter)
+            self.tuples_injected += len(node_batch.out_timing)
+        elif node_batch.stream in self.transients:
+            # Keep slice numbering aligned even for batches without local
+            # timing data: an empty slice is appended so windowed reads and
+            # GC see a continuous timeline.
+            self.transients[node_batch.stream].append_slice(
+                node_batch.batch_no, [], [], meter=meter)

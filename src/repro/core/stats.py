@@ -1,0 +1,143 @@
+"""Engine observability: one-call snapshots of every subsystem's state.
+
+Production stores ship a stats endpoint; this module aggregates the
+counters the reproduction already keeps — store sizes, stream-index and
+transient footprints, GC progress, fabric traffic, injection totals,
+query registrations and latencies — into one typed snapshot with a
+formatted dashboard, used by examples and operators alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.metrics import mean, median, percentile
+from repro.core.engine import WukongSEngine
+
+
+@dataclass
+class StreamStats:
+    """Per-stream ingestion and retention state."""
+
+    name: str
+    batches_delivered: int
+    index_slices: int
+    index_bytes: int
+    index_replicas: int
+    transient_slices: int
+    transient_bytes: int
+    raw_bytes: int
+
+
+@dataclass
+class QueryStats:
+    """Per-continuous-query execution statistics."""
+
+    name: str
+    home_node: int
+    executions: int
+    median_ms: Optional[float]
+    p99_ms: Optional[float]
+    last_rows: Optional[int]
+
+
+@dataclass
+class EngineStats:
+    """A full engine snapshot."""
+
+    clock_ms: int
+    num_nodes: int
+    stable_sn: int
+    stable_vts: Dict[str, int]
+    store_entries: int
+    store_bytes: int
+    tuples_injected: int
+    mean_injection_ms: float
+    rdma_reads: int
+    messages: int
+    gc_runs: int
+    gc_transient_freed: int
+    gc_index_freed: int
+    streams: List[StreamStats] = field(default_factory=list)
+    queries: List[QueryStats] = field(default_factory=list)
+
+    def format(self) -> str:
+        """A terminal dashboard."""
+        lines = [
+            f"engine @ t={self.clock_ms / 1000:.1f}s  "
+            f"nodes={self.num_nodes}  stable SN={self.stable_sn}",
+            f"store: {self.store_entries:,} entries, "
+            f"{self.store_bytes / 1024:.0f} KiB; injected "
+            f"{self.tuples_injected:,} tuples "
+            f"(mean {self.mean_injection_ms:.3f} ms/batch)",
+            f"network: {self.rdma_reads:,} one-sided reads, "
+            f"{self.messages:,} messages; "
+            f"gc: {self.gc_runs} runs, "
+            f"{self.gc_transient_freed + self.gc_index_freed} slices freed",
+        ]
+        for stream in self.streams:
+            lines.append(
+                f"  stream {stream.name}: batch #{stream.batches_delivered}"
+                f", index {stream.index_slices} slices/"
+                f"{stream.index_bytes / 1024:.1f} KiB x{stream.index_replicas}"
+                f" replicas, transient {stream.transient_slices} slices")
+        for query in self.queries:
+            stats = "no executions yet"
+            if query.executions:
+                stats = (f"{query.executions} runs, p50 "
+                         f"{query.median_ms:.3f} ms, p99 "
+                         f"{query.p99_ms:.3f} ms, last {query.last_rows} rows")
+            lines.append(f"  query {query.name} @node{query.home_node}: "
+                         f"{stats}")
+        return "\n".join(lines)
+
+
+def collect_stats(engine: WukongSEngine) -> EngineStats:
+    """Snapshot every subsystem of ``engine``."""
+    fabric = engine.cluster.fabric.stats
+    injection_ms = [r.total_ms for r in engine.injection_records
+                    if r.num_tuples > 0]
+    streams = []
+    for name in engine.schemas:
+        index = engine.registry.index(name)
+        transients = engine.transients[name]
+        streams.append(StreamStats(
+            name=name,
+            batches_delivered=engine._last_delivered.get(name, 0),
+            index_slices=index.num_slices,
+            index_bytes=index.memory_bytes(),
+            index_replicas=max(1, len(engine.registry.replicas(name))),
+            transient_slices=sum(t.num_slices for t in transients),
+            transient_bytes=sum(t.memory_bytes() for t in transients),
+            raw_bytes=engine.raw_stream_bytes(name),
+        ))
+    queries = []
+    for handle in engine.continuous.queries.values():
+        latencies = [rec.latency_ms for rec in handle.executions]
+        queries.append(QueryStats(
+            name=handle.name,
+            home_node=handle.home_node,
+            executions=len(latencies),
+            median_ms=median(latencies) if latencies else None,
+            p99_ms=percentile(latencies, 99) if latencies else None,
+            last_rows=(len(handle.executions[-1].result.rows)
+                       if handle.executions else None),
+        ))
+    return EngineStats(
+        clock_ms=engine.clock.now_ms,
+        num_nodes=engine.cluster.num_nodes,
+        stable_sn=engine.coordinator.stable_sn,
+        stable_vts=engine.coordinator.stable_vts().as_dict(),
+        store_entries=engine.store.num_entries,
+        store_bytes=engine.store.memory_bytes(),
+        tuples_injected=sum(i.tuples_injected for i in engine.injectors),
+        mean_injection_ms=mean(injection_ms) if injection_ms else 0.0,
+        rdma_reads=fabric.rdma_reads,
+        messages=fabric.messages,
+        gc_runs=engine.gc.stats.runs,
+        gc_transient_freed=engine.gc.stats.transient_slices_freed,
+        gc_index_freed=engine.gc.stats.index_slices_freed,
+        streams=streams,
+        queries=queries,
+    )

@@ -1,0 +1,239 @@
+"""The stream index with locality-aware partitioning (§4.2, Fig. 8-9).
+
+After the persistent store absorbs a stream batch, that batch's timeless
+tuples are scattered through value lists all over the store.  The stream
+index is the fast path back to them: per stream, a time-ordered sequence of
+*index slices*, one per batch, whose entries map a store key to the *span*
+(fat pointer: owner node + offset + length) of the value entries that batch
+contributed.  A continuous query reading window batches [i, j] unions the
+span lookups of slices i..j and dereferences each span with at most one
+RDMA read — no key lookup, no scan of unrelated entries, search space
+independent of the stored-data size.
+
+The index also carries the only copy of timeless tuples' timestamps, at
+batch granularity; the persistent store stays timestamp-free.
+
+Locality-aware partitioning: rather than co-locating index with data (which
+splits small continuous queries across nodes), the full index of a stream
+is replicated to exactly the nodes where registered queries consume that
+stream (*query* locality, not data locality).  Replicas are registered
+on demand and dropped when the last interested query unregisters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import StoreError, StreamError
+from repro.rdf.ids import Key, split_key
+from repro.sim.cost import CostModel, LatencyMeter, MemoryModel
+from repro.store.kvstore import ValueSpan
+
+#: One index entry: the span plus the node whose shard holds it.
+OwnedSpan = Tuple[int, ValueSpan]
+
+
+class IndexSlice:
+    """Stream-index entries contributed by one batch."""
+
+    __slots__ = ("batch_no", "entries", "vertices")
+
+    def __init__(self, batch_no: int):
+        self.batch_no = batch_no
+        self.entries: Dict[Key, List[OwnedSpan]] = {}
+        #: (eid, d) -> vertices that gained an (eid, d) edge in this batch.
+        self.vertices: Dict[Tuple[int, int], Set[int]] = {}
+
+    def add_span(self, owner: int, span: ValueSpan) -> None:
+        """Record one inserted span, coalescing contiguous appends."""
+        spans = self.entries.setdefault(span.key, [])
+        if spans:
+            last_owner, last = spans[-1]
+            if last_owner == owner and last.offset + last.length == span.offset:
+                spans[-1] = (owner, ValueSpan(span.key, last.offset,
+                                              last.length + span.length))
+                self._note_vertex(span.key)
+                return
+        spans.append((owner, span))
+        self._note_vertex(span.key)
+
+    def _note_vertex(self, key: Key) -> None:
+        vid, eid, d = split_key(key)
+        self.vertices.setdefault((eid, d), set()).add(vid)
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(spans) for spans in self.entries.values())
+
+    def memory_bytes(self, model: MemoryModel) -> int:
+        total = 0
+        for spans in self.entries.values():
+            total += model.index_key_bytes \
+                + model.fat_pointer_bytes * len(spans)
+        return total
+
+
+class StreamIndex:
+    """All live index slices of one stream (logical content; see registry
+    for replication)."""
+
+    def __init__(self, stream: str, cost: Optional[CostModel] = None,
+                 memory: Optional[MemoryModel] = None):
+        self.stream = stream
+        self.cost = cost if cost is not None else CostModel()
+        self.memory = memory if memory is not None else MemoryModel()
+        self._slices: Deque[IndexSlice] = deque()
+        #: Batches strictly below this were garbage-collected (time-scoped
+        #: one-shot queries refuse to read reclaimed history).
+        self.collected_before = 1
+
+    # -- building ---------------------------------------------------------
+    def append_slice(self, piece: IndexSlice,
+                     meter: Optional[LatencyMeter] = None) -> None:
+        if self._slices and piece.batch_no <= self._slices[-1].batch_no:
+            raise StoreError(
+                f"index slices must append in time order: #{piece.batch_no} "
+                f"after #{self._slices[-1].batch_no}")
+        if meter is not None:
+            meter.charge(self.cost.insert_entry_ns, times=piece.num_entries,
+                         category="indexing")
+        self._slices.append(piece)
+
+    # -- reads ------------------------------------------------------------
+    def lookup_spans(self, key: Key, first_batch: int, last_batch: int,
+                     meter: Optional[LatencyMeter] = None) -> List[OwnedSpan]:
+        """Spans for ``key`` across batches [first, last] (inclusive)."""
+        spans: List[OwnedSpan] = []
+        for piece in self._slices:
+            if piece.batch_no < first_batch:
+                continue
+            if piece.batch_no > last_batch:
+                break
+            if meter is not None:
+                meter.charge(self.cost.index_probe_ns, category="store")
+            found = piece.entries.get(key)
+            if found:
+                spans.extend(found)
+        return spans
+
+    def vertices(self, eid: int, d: int, first_batch: int, last_batch: int,
+                 meter: Optional[LatencyMeter] = None) -> List[int]:
+        """Distinct vertices touched by (eid, d) edges in the batch range."""
+        out: List[int] = []
+        seen: Set[int] = set()
+        for piece in self._slices:
+            if piece.batch_no < first_batch or piece.batch_no > last_batch:
+                continue
+            members = piece.vertices.get((eid, d), ())
+            if meter is not None:
+                meter.charge(self.cost.index_probe_ns, category="store")
+                meter.charge(self.cost.scan_entry_ns, times=len(members),
+                             category="store")
+            for vid in members:
+                if vid not in seen:
+                    seen.add(vid)
+                    out.append(vid)
+        return out
+
+    # -- GC ----------------------------------------------------------------
+    def collect(self, before_batch_no: int,
+                meter: Optional[LatencyMeter] = None) -> int:
+        """Drop slices with batch_no < ``before_batch_no``; returns count."""
+        if before_batch_no > self.collected_before:
+            self.collected_before = before_batch_no
+        freed = 0
+        while self._slices and self._slices[0].batch_no < before_batch_no:
+            piece = self._slices.popleft()
+            if meter is not None:
+                meter.charge(self.cost.gc_entry_ns, times=piece.num_entries,
+                             category="gc")
+            freed += 1
+        return freed
+
+    # -- stats ---------------------------------------------------------------
+    @property
+    def num_slices(self) -> int:
+        return len(self._slices)
+
+    @property
+    def earliest_batch(self) -> Optional[int]:
+        return self._slices[0].batch_no if self._slices else None
+
+    def memory_bytes(self) -> int:
+        """Bytes of one replica of this index."""
+        return sum(piece.memory_bytes(self.memory) for piece in self._slices)
+
+
+class StreamIndexRegistry:
+    """Replication control: which nodes hold which stream's index.
+
+    The index content is shared (one logical :class:`StreamIndex` per
+    stream); the registry tracks the replica set and prices accesses — a
+    probe from a replica-holding node is local, anything else pays a remote
+    read per probed slice.  Memory accounting multiplies the index size by
+    the replica count, which is what Table 7 measures.
+    """
+
+    def __init__(self, cost: Optional[CostModel] = None):
+        self.cost = cost if cost is not None else CostModel()
+        self._indexes: Dict[str, StreamIndex] = {}
+        self._replicas: Dict[str, Set[int]] = {}
+        self._interest: Dict[str, Dict[int, int]] = {}
+
+    # -- lifecycle --------------------------------------------------------
+    def create_stream(self, stream: str,
+                      memory: Optional[MemoryModel] = None) -> StreamIndex:
+        if stream in self._indexes:
+            raise StreamError(f"stream index already exists: {stream}")
+        index = StreamIndex(stream, cost=self.cost, memory=memory)
+        self._indexes[stream] = index
+        self._replicas[stream] = set()
+        self._interest[stream] = {}
+        return index
+
+    def index(self, stream: str) -> StreamIndex:
+        found = self._indexes.get(stream)
+        if found is None:
+            raise StreamError(f"no stream index for: {stream}")
+        return found
+
+    @property
+    def streams(self) -> List[str]:
+        return sorted(self._indexes)
+
+    # -- replication (query registration drives this) -------------------------
+    def add_interest(self, stream: str, node_id: int) -> None:
+        """A continuous query on ``node_id`` consumes ``stream``: ensure a
+        replica there (created on demand, as §4.2 describes)."""
+        interest = self._interest.get(stream)
+        if interest is None:
+            raise StreamError(f"no stream index for: {stream}")
+        interest[node_id] = interest.get(node_id, 0) + 1
+        self._replicas[stream].add(node_id)
+
+    def drop_interest(self, stream: str, node_id: int) -> None:
+        """A consuming query unregistered; drop the replica when unused."""
+        interest = self._interest.get(stream)
+        if interest is None or interest.get(node_id, 0) <= 0:
+            raise StreamError(
+                f"no registered interest of node {node_id} in {stream}")
+        interest[node_id] -= 1
+        if interest[node_id] == 0:
+            del interest[node_id]
+            self._replicas[stream].discard(node_id)
+
+    def replicas(self, stream: str) -> Set[int]:
+        return set(self._replicas.get(stream, ()))
+
+    def is_local(self, stream: str, node_id: int) -> bool:
+        return node_id in self._replicas.get(stream, ())
+
+    # -- memory accounting -------------------------------------------------
+    def memory_bytes(self, stream: str) -> int:
+        """Total bytes across replicas of one stream's index."""
+        replicas = max(1, len(self._replicas.get(stream, ())))
+        return self.index(stream).memory_bytes() * replicas
+
+    def total_memory_bytes(self) -> int:
+        return sum(self.memory_bytes(s) for s in self._indexes)

@@ -1,0 +1,102 @@
+"""Decentralized vector timestamps (§4.3).
+
+Each node maintains a ``Local_VTS`` — per-stream counters of the last batch
+fully inserted on that node.  The coordinator derives the ``Stable_VTS`` as
+the element-wise minimum over all nodes: batches at or below the stable
+vector are visible on every node and safe for queries (prefix integrity:
+the order data arrives equals the order it becomes visible).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import ConsistencyError
+
+
+class VectorTimestamp:
+    """Per-stream batch counters with monotonic updates.
+
+    >>> vts = VectorTimestamp(["S0", "S1"])
+    >>> vts.update("S0", 1); vts.update("S0", 2)
+    >>> vts.get("S0")
+    2
+    """
+
+    def __init__(self, streams: Iterable[str] = ()):
+        self._v: Dict[str, int] = {name: 0 for name in streams}
+
+    # -- updates ------------------------------------------------------------
+    def update(self, stream: str, batch_no: int) -> None:
+        """Record that ``batch_no`` of ``stream`` finished inserting here.
+
+        Batches within a stream are inserted in order, so the counter must
+        advance by exactly one.
+        """
+        current = self._v.get(stream)
+        if current is None:
+            raise ConsistencyError(f"unknown stream in VTS: {stream}")
+        if batch_no != current + 1:
+            raise ConsistencyError(
+                f"stream {stream}: batch #{batch_no} after #{current} "
+                f"(in-order insertion violated)")
+        self._v[stream] = batch_no
+
+    def add_stream(self, stream: str) -> None:
+        """Dynamically register a new stream (starts at batch 0)."""
+        if stream in self._v:
+            raise ConsistencyError(f"stream already tracked: {stream}")
+        self._v[stream] = 0
+
+    # -- reads ------------------------------------------------------------
+    def get(self, stream: str) -> int:
+        value = self._v.get(stream)
+        if value is None:
+            raise ConsistencyError(f"unknown stream in VTS: {stream}")
+        return value
+
+    @property
+    def streams(self) -> Iterable[str]:
+        return self._v.keys()
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._v)
+
+    def covers(self, requirement: Mapping[str, int]) -> bool:
+        """Whether every required ``stream -> batch_no`` is at or below us."""
+        for stream, needed in requirement.items():
+            if self._v.get(stream, 0) < needed:
+                return False
+        return True
+
+    def copy(self) -> "VectorTimestamp":
+        clone = VectorTimestamp()
+        clone._v = dict(self._v)
+        return clone
+
+    # -- combination -----------------------------------------------------------
+    @staticmethod
+    def stable(locals_: Iterable["VectorTimestamp"]) -> "VectorTimestamp":
+        """Element-wise minimum: the cluster-wide stable vector."""
+        result = VectorTimestamp()
+        first = True
+        for vts in locals_:
+            if first:
+                result._v = dict(vts._v)
+                first = False
+                continue
+            if vts._v.keys() != result._v.keys():
+                raise ConsistencyError(
+                    "nodes disagree on the stream set: "
+                    f"{sorted(vts._v)} vs {sorted(result._v)}")
+            for stream, value in vts._v.items():
+                if value < result._v[stream]:
+                    result._v[stream] = value
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorTimestamp) and self._v == other._v
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ",".join(f"{s}={n}" for s, n in sorted(self._v.items()))
+        return f"VTS[{inner}]"

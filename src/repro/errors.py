@@ -1,0 +1,58 @@
+"""Exception hierarchy shared across the Wukong+S reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """A SPARQL / C-SPARQL / RDF text could not be parsed.
+
+    Carries the offending position when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class PlanError(ReproError):
+    """No valid execution plan exists for a query (e.g. no constant start)."""
+
+
+class StoreError(ReproError):
+    """The graph store was used inconsistently (bad key, bad snapshot...)."""
+
+
+class StreamError(ReproError):
+    """Stream definition or ingestion failure (unknown stream, bad batch order...)."""
+
+
+class ConsistencyError(ReproError):
+    """A vector-timestamp / snapshot invariant would be violated."""
+
+
+class RegistrationError(ReproError):
+    """A continuous query could not be registered."""
+
+
+class UnsupportedOperationError(ReproError):
+    """An engine does not support the requested operation.
+
+    Used by the Structured-Streaming baseline to reject stream-stream joins,
+    mirroring the unsupported operations the paper reports as "x" in Table 4.
+    """
+
+
+class FaultToleranceError(ReproError):
+    """Checkpoint / recovery failure."""

@@ -1,0 +1,69 @@
+"""ID encoding for the graph store, following Wukong's layout.
+
+The base store keys are the combination of vertex ID (``vid``), edge/
+predicate ID (``eid``) and direction (``d``), written ``[vid|eid|d]`` in the
+paper (Fig. 6).  Wukong+S uses 46-bit vids (over 70 trillion entities); we
+pack keys as ``(vid << 18) | (eid << 1) | d`` into one Python int, keeping
+17 bits for the predicate ID.
+
+Vertex 0 is reserved for *index vertices*: the key ``[0|p|d]`` maps a
+predicate to every normal vertex that has a ``d``-direction edge labelled
+``p`` — the reverse mapping queries use when no constant vertex is known.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import StoreError
+
+#: Reserved vid used for predicate-index vertices ([0|eid|d] keys).
+INDEX_VID = 0
+
+#: Direction of the edge relative to the key's vertex.
+DIR_IN = 0
+DIR_OUT = 1
+
+#: 46-bit vertex IDs, as in the paper (>70 trillion unique entities).
+MAX_VID = (1 << 46) - 1
+#: 17-bit predicate IDs.
+MAX_EID = (1 << 17) - 1
+
+_EID_SHIFT = 1
+_VID_SHIFT = 18
+
+#: Type alias for a packed store key.
+Key = int
+
+
+def make_key(vid: int, eid: int, d: int) -> Key:
+    """Pack ``[vid|eid|d]`` into one integer key."""
+    if not 0 <= vid <= MAX_VID:
+        raise StoreError(f"vid out of range: {vid}")
+    if not 0 <= eid <= MAX_EID:
+        raise StoreError(f"eid out of range: {eid}")
+    if d not in (DIR_IN, DIR_OUT):
+        raise StoreError(f"direction must be DIR_IN or DIR_OUT, got {d}")
+    return (vid << _VID_SHIFT) | (eid << _EID_SHIFT) | d
+
+
+def split_key(key: Key) -> Tuple[int, int, int]:
+    """Unpack a key into ``(vid, eid, d)``."""
+    if key < 0:
+        raise StoreError(f"invalid key: {key}")
+    return key >> _VID_SHIFT, (key >> _EID_SHIFT) & MAX_EID, key & 1
+
+
+def index_key(eid: int, d: int) -> Key:
+    """The index-vertex key ``[0|eid|d]`` for predicate ``eid``.
+
+    Direction follows the paper's convention: ``index_key(p, DIR_IN)``
+    lists the vertices with an *in*-edge labelled ``p`` (e.g. all posts for
+    predicate ``po`` in Fig. 6).
+    """
+    return make_key(INDEX_VID, eid, d)
+
+
+def key_vid(key: Key) -> int:
+    """The vertex component of a key (used for hash partitioning)."""
+    return key >> _VID_SHIFT

@@ -1,0 +1,81 @@
+"""Minimal RDF text parsing.
+
+Two line-oriented formats are supported, enough to load static datasets and
+stream traces in tests and examples:
+
+* triples — ``subject predicate object .`` (the final dot is optional);
+* timed tuples — ``subject predicate object @timestamp`` with an integer
+  timestamp in simulated milliseconds.
+
+Blank lines and ``#`` comments are skipped.  Terms are bare words or
+``<...>``-delimited IRIs (the delimiters are stripped); quoted literals keep
+internal spaces.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Iterable, List
+
+from repro.errors import ParseError
+from repro.rdf.terms import TimedTuple, Triple
+
+
+def _split_terms(line: str, lineno: int) -> List[str]:
+    try:
+        parts = shlex.split(line, comments=False)
+    except ValueError as exc:
+        raise ParseError(f"bad quoting: {exc}", line=lineno) from exc
+    return [p[1:-1] if p.startswith("<") and p.endswith(">") else p for p in parts]
+
+
+def parse_triples(text: str) -> List[Triple]:
+    """Parse newline-separated triples.
+
+    >>> parse_triples("Logan fo Erik .\\nLogan po T-13")
+    [Triple(subject='Logan', predicate='fo', object='Erik'), \
+Triple(subject='Logan', predicate='po', object='T-13')]
+    """
+    triples: List[Triple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        terms = _split_terms(line, lineno)
+        if terms and terms[-1] == ".":
+            terms = terms[:-1]
+        if len(terms) != 3:
+            raise ParseError(
+                f"expected 3 terms, got {len(terms)}: {line!r}", line=lineno)
+        triples.append(Triple(*terms))
+    return triples
+
+
+def parse_timed_tuples(text: str) -> List[TimedTuple]:
+    """Parse newline-separated timed tuples (``s p o @ts``).
+
+    >>> parse_timed_tuples("Logan po T-15 @802")
+    [TimedTuple(triple=Triple(subject='Logan', predicate='po', object='T-15'), timestamp_ms=802)]
+    """
+    tuples: List[TimedTuple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        terms = _split_terms(line, lineno)
+        if len(terms) != 4 or not terms[3].startswith("@"):
+            raise ParseError(
+                f"expected 's p o @ts', got: {line!r}", line=lineno)
+        stamp_text = terms[3][1:]
+        try:
+            stamp = int(stamp_text)
+        except ValueError as exc:
+            raise ParseError(
+                f"bad timestamp {stamp_text!r}", line=lineno) from exc
+        tuples.append(TimedTuple(Triple(terms[0], terms[1], terms[2]), stamp))
+    return tuples
+
+
+def format_triples(triples: Iterable[Triple]) -> str:
+    """Render triples back to the line format accepted by parse_triples."""
+    return "\n".join(f"{t.subject} {t.predicate} {t.object} ." for t in triples)

@@ -1,0 +1,122 @@
+"""The string server: bidirectional string <-> ID mapping.
+
+As in Wukong, clients never ship long strings to the servers; each term is
+first converted to a compact integer ID by a shared string server, saving
+network bandwidth.  Entities and predicates live in distinct ID spaces
+(predicates become edge IDs, entities become vertex IDs).  Vertex ID 0 is
+reserved for index vertices, so entity IDs start at 1.
+
+The paper notes that the mapping table skips garbage collection entirely —
+one-shot queries may refer to any entity at any time — and so does this
+implementation: IDs are never reclaimed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import StoreError
+from repro.rdf.ids import INDEX_VID, MAX_EID, MAX_VID
+from repro.rdf.terms import EncodedTriple, EncodedTuple, TimedTuple, Triple
+
+
+class StringServer:
+    """Assigns and resolves entity vids and predicate eids.
+
+    >>> server = StringServer()
+    >>> logan = server.entity_id("Logan")
+    >>> server.entity_id("Logan") == logan
+    True
+    >>> server.entity_name(logan)
+    'Logan'
+    """
+
+    def __init__(self) -> None:
+        self._entity_ids: Dict[str, int] = {}
+        self._entity_names: List[Optional[str]] = [None]  # vid 0 = INDEX
+        self._predicate_ids: Dict[str, int] = {}
+        self._predicate_names: List[Optional[str]] = [None]  # eid 0 reserved
+
+    # -- allocation / lookup -------------------------------------------
+    def entity_id(self, name: str) -> int:
+        """Return the vid for ``name``, allocating one on first sight."""
+        vid = self._entity_ids.get(name)
+        if vid is None:
+            vid = len(self._entity_names)
+            if vid > MAX_VID:
+                raise StoreError("entity ID space exhausted (46-bit)")
+            self._entity_ids[name] = vid
+            self._entity_names.append(name)
+        return vid
+
+    def predicate_id(self, name: str) -> int:
+        """Return the eid for predicate ``name``, allocating on first sight."""
+        eid = self._predicate_ids.get(name)
+        if eid is None:
+            eid = len(self._predicate_names)
+            if eid > MAX_EID:
+                raise StoreError("predicate ID space exhausted (17-bit)")
+            self._predicate_ids[name] = eid
+            self._predicate_names.append(name)
+        return eid
+
+    def lookup_entity(self, name: str) -> Optional[int]:
+        """The vid for ``name`` if already known, else None (no allocation)."""
+        return self._entity_ids.get(name)
+
+    def lookup_predicate(self, name: str) -> Optional[int]:
+        """The eid for ``name`` if already known, else None (no allocation)."""
+        return self._predicate_ids.get(name)
+
+    # -- reverse lookup -------------------------------------------------
+    def entity_name(self, vid: int) -> str:
+        """The string for a vid; raises for the index vertex or unknown ids."""
+        if vid == INDEX_VID:
+            raise StoreError("vid 0 is the reserved index vertex")
+        if not 0 < vid < len(self._entity_names):
+            raise StoreError(f"unknown entity vid: {vid}")
+        name = self._entity_names[vid]
+        assert name is not None
+        return name
+
+    def predicate_name(self, eid: int) -> str:
+        """The string for an eid; raises for unknown ids."""
+        if not 0 < eid < len(self._predicate_names):
+            raise StoreError(f"unknown predicate eid: {eid}")
+        name = self._predicate_names[eid]
+        assert name is not None
+        return name
+
+    # -- bulk encoding ----------------------------------------------------
+    def encode_triple(self, triple: Triple) -> EncodedTriple:
+        """Encode one triple, allocating IDs as needed."""
+        return EncodedTriple(
+            self.entity_id(triple.subject),
+            self.predicate_id(triple.predicate),
+            self.entity_id(triple.object),
+        )
+
+    def encode_tuple(self, tup: TimedTuple) -> EncodedTuple:
+        """Encode one timed tuple, allocating IDs as needed."""
+        return EncodedTuple(self.encode_triple(tup.triple), tup.timestamp_ms)
+
+    def encode_triples(self, triples: Iterable[Triple]) -> List[EncodedTriple]:
+        """Encode a batch of triples."""
+        return [self.encode_triple(t) for t in triples]
+
+    def decode_triple(self, enc: EncodedTriple) -> Triple:
+        """Decode an encoded triple back to strings."""
+        return Triple(
+            self.entity_name(enc.s),
+            self.predicate_name(enc.p),
+            self.entity_name(enc.o),
+        )
+
+    # -- stats -------------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        return len(self._entity_names) - 1
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self._predicate_names) - 1

@@ -1,0 +1,48 @@
+"""RDF terms, triples and timed stream tuples.
+
+The linked data is represented as RDF triples ``<subject, predicate,
+object>``.  Streaming data arrives as *timed tuples*: a triple plus its
+source timestamp, e.g. ``<Logan, po, T-15> @ 0802`` (Fig. 1 of the paper).
+Terms are plain strings at the API boundary; internally every term is
+converted to a compact integer ID by the :class:`~repro.rdf.StringServer`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Triple(NamedTuple):
+    """One RDF triple of string terms."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __str__(self) -> str:
+        return f"<{self.subject}, {self.predicate}, {self.object}>"
+
+
+class TimedTuple(NamedTuple):
+    """One stream tuple: a triple with its source timestamp (simulated ms)."""
+
+    triple: Triple
+    timestamp_ms: int
+
+    def __str__(self) -> str:
+        return f"{self.triple} @{self.timestamp_ms}"
+
+
+class EncodedTriple(NamedTuple):
+    """A triple after string->ID conversion: (subject vid, predicate eid, object vid)."""
+
+    s: int
+    p: int
+    o: int
+
+
+class EncodedTuple(NamedTuple):
+    """An encoded triple plus its timestamp, as handled by the data path."""
+
+    triple: EncodedTriple
+    timestamp_ms: int

@@ -1,0 +1,24 @@
+"""Deterministic simulation substrate.
+
+The paper measures wall-clock latency on an 8-node RDMA cluster.  This
+package replaces that hardware with a calibrated cost model: every primitive
+operation (hash probe, value scan, RDMA read, TCP round trip, tuple
+transformation...) charges simulated nanoseconds to a :class:`LatencyMeter`.
+All engines in this repository — Wukong+S and every baseline — execute their
+real algorithms on real data and are priced by the same model, so relative
+orderings and scaling shapes are produced by actual work performed.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.cost import CostModel, LatencyMeter
+from repro.sim.network import Fabric
+from repro.sim.cluster import Cluster, Node
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "LatencyMeter",
+    "Fabric",
+    "Cluster",
+    "Node",
+]

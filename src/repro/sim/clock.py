@@ -1,0 +1,46 @@
+"""Virtual time.
+
+All timestamps in the system (stream tuple timestamps, window boundaries,
+checkpoint intervals) are expressed in *simulated milliseconds* counted by a
+:class:`VirtualClock`.  Nothing in the library ever reads the wall clock,
+which keeps every run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (milliseconds).
+
+    >>> clock = VirtualClock(start_ms=800)
+    >>> clock.now_ms
+    800
+    >>> clock.advance(100)
+    900
+    """
+
+    def __init__(self, start_ms: int = 0):
+        if start_ms < 0:
+            raise ValueError(f"clock cannot start in negative time: {start_ms}")
+        self._now_ms = int(start_ms)
+
+    @property
+    def now_ms(self) -> int:
+        """The current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: int) -> int:
+        """Move the clock forward by ``delta_ms`` and return the new time."""
+        if delta_ms < 0:
+            raise ValueError(f"clock cannot move backwards: {delta_ms}")
+        self._now_ms += int(delta_ms)
+        return self._now_ms
+
+    def advance_to(self, when_ms: int) -> int:
+        """Move the clock forward to ``when_ms`` (no-op if already past it)."""
+        if when_ms > self._now_ms:
+            self._now_ms = int(when_ms)
+        return self._now_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now_ms={self._now_ms})"

@@ -1,0 +1,107 @@
+"""Simulated cluster: nodes, data partitioning and worker accounting.
+
+A :class:`Cluster` stands in for the paper's 8-node rack.  Each
+:class:`Node` models one server with a fixed number of query-worker threads
+(one continuous-query engine and one one-shot engine in Wukong+S).  Data
+placement uses the same hash partitioning as Wukong: a vertex ``vid`` lives
+on node ``vid % num_nodes``.
+
+Fault injection (``kill_node`` / ``restart_node``) drives the recovery path
+of the fault-tolerance experiments (§6.8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.sim.cost import CostModel
+from repro.sim.network import Fabric
+
+
+class Node:
+    """One simulated server.
+
+    Attributes
+    ----------
+    node_id:
+        Zero-based identifier within the cluster.
+    workers:
+        Number of worker threads serving continuous queries.
+    alive:
+        False after :meth:`Cluster.kill_node` until restart.
+    """
+
+    def __init__(self, node_id: int, workers: int = 16):
+        if workers <= 0:
+            raise ValueError(f"node needs at least one worker, got {workers}")
+        self.node_id = node_id
+        self.workers = workers
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "down"
+        return f"Node(id={self.node_id}, workers={self.workers}, {status})"
+
+
+class Cluster:
+    """A set of simulated nodes joined by one fabric.
+
+    Parameters
+    ----------
+    num_nodes:
+        Cluster size (the paper evaluates 1 through 8).
+    workers_per_node:
+        Worker threads per node available for continuous queries.
+    cost:
+        Shared cost model; defaults to the calibrated :class:`CostModel`.
+    use_rdma:
+        Whether the fabric performs one-sided RDMA reads (Table 5 toggles
+        this off).
+    """
+
+    def __init__(self, num_nodes: int = 8, workers_per_node: int = 16,
+                 cost: CostModel | None = None, use_rdma: bool = True):
+        if num_nodes <= 0:
+            raise ValueError(f"cluster needs at least one node, got {num_nodes}")
+        self.cost = cost if cost is not None else CostModel()
+        self.fabric = Fabric(self.cost, use_rdma=use_rdma)
+        self.nodes: List[Node] = [Node(i, workers_per_node) for i in range(num_nodes)]
+
+    # -- placement ----------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def owner_of(self, vid: int) -> int:
+        """The node that owns vertex ``vid`` (hash partitioning, as Wukong)."""
+        return vid % len(self.nodes)
+
+    def is_local(self, vid: int, node_id: int) -> bool:
+        """Whether vertex ``vid`` is stored on ``node_id``."""
+        return self.owner_of(vid) == node_id
+
+    def alive_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.alive]
+
+    @property
+    def total_workers(self) -> int:
+        """Workers across live nodes (used for throughput accounting)."""
+        return sum(node.workers for node in self.alive_nodes())
+
+    # -- fault injection ------------------------------------------------
+    def kill_node(self, node_id: int) -> None:
+        """Mark a node failed (its in-memory state is considered lost)."""
+        self._node(node_id).alive = False
+
+    def restart_node(self, node_id: int) -> None:
+        """Bring a failed node back (empty; recovery must reload state)."""
+        self._node(node_id).alive = True
+
+    def _node(self, node_id: int) -> Node:
+        if not 0 <= node_id < len(self.nodes):
+            raise ReproError(f"no such node: {node_id}")
+        return self.nodes[node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster(nodes={len(self.nodes)}, rdma={self.fabric.use_rdma})"

@@ -1,0 +1,99 @@
+"""Simulated network fabric (RDMA-capable with a TCP fallback).
+
+The paper's cluster has two networks: 56 Gbps InfiniBand (RDMA) and 10 GbE
+(TCP).  Wukong+S uses one-sided RDMA reads for in-place execution; with
+``use_rdma=False`` (Table 5) it falls back to fork-join execution over TCP.
+The fabric charges the appropriate cost to a :class:`LatencyMeter` and
+counts the operations so benchmarks can report traffic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.cost import CostModel, LatencyMeter
+
+
+@dataclass
+class FabricStats:
+    """Operation counters for one fabric."""
+
+    rdma_reads: int = 0
+    rdma_bytes: int = 0
+    messages: int = 0
+    message_bytes: int = 0
+
+    def reset(self) -> None:
+        self.rdma_reads = 0
+        self.rdma_bytes = 0
+        self.messages = 0
+        self.message_bytes = 0
+
+
+class Fabric:
+    """Prices remote operations between simulated nodes.
+
+    Parameters
+    ----------
+    cost:
+        The shared cost model.
+    use_rdma:
+        When True (default), :meth:`remote_read` is a one-sided RDMA read.
+        When False, remote reads are full TCP round trips, as in the paper's
+        non-RDMA configuration (Table 5).
+    """
+
+    def __init__(self, cost: CostModel, use_rdma: bool = True):
+        self.cost = cost
+        self.use_rdma = use_rdma
+        self.stats = FabricStats()
+
+    def remote_read(self, meter: LatencyMeter, nbytes: int,
+                    category: str = "network") -> None:
+        """Charge one remote read of ``nbytes`` from another node's memory."""
+        if self.use_rdma:
+            self.stats.rdma_reads += 1
+            self.stats.rdma_bytes += nbytes
+            meter.charge(self.cost.rdma_read_cost(nbytes), category=category)
+        else:
+            self.stats.messages += 1
+            self.stats.message_bytes += nbytes
+            meter.charge(self.cost.tcp_cost(nbytes), category=category)
+
+    def message(self, meter: LatencyMeter, nbytes: int,
+                category: str = "network") -> None:
+        """Charge one request/response message exchange of ``nbytes``.
+
+        Two-sided messaging is used for fork-join dispatch and by all
+        baseline systems; it always pays the TCP-style round trip (the
+        paper's baselines do not use one-sided RDMA).
+        """
+        self.stats.messages += 1
+        self.stats.message_bytes += nbytes
+        meter.charge(self.cost.tcp_cost(nbytes), category=category)
+
+    def one_way(self, meter: LatencyMeter, nbytes: int,
+                category: str = "network") -> None:
+        """Charge a one-way send (half a round trip) of ``nbytes``."""
+        self.stats.messages += 1
+        self.stats.message_bytes += nbytes
+        meter.charge(self.cost.tcp_cost(nbytes) / 2.0, category=category)
+
+    def bulk_transfer(self, meter: LatencyMeter, nbytes: int,
+                      category: str = "network") -> None:
+        """Charge one bulk data movement between nodes.
+
+        With RDMA the payload moves as a one-sided write at RDMA cost;
+        without it, as a one-way TCP send.  Used by the distributed
+        execution modes for row migration and result gathering — the
+        medium is exactly what Table 5 toggles.
+        """
+        if self.use_rdma:
+            self.stats.rdma_reads += 1
+            self.stats.rdma_bytes += nbytes
+            meter.charge(self.cost.rdma_read_cost(nbytes), category=category)
+        else:
+            self.stats.messages += 1
+            self.stats.message_bytes += nbytes
+            meter.charge(self.cost.tcp_cost(nbytes) / 2.0, category=category)

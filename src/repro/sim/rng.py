@@ -1,0 +1,56 @@
+"""Deterministic random-number helpers.
+
+Every stochastic choice in the library (workload generation, query start
+points, mixed-workload composition) flows through an explicitly seeded
+:class:`random.Random` created here, so no run ever depends on global RNG
+state or wall-clock seeding.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def make_rng(seed: int, *salt: object) -> random.Random:
+    """Create an isolated RNG from a base seed plus mixing salt.
+
+    The salt lets independent components (e.g. each stream generator) derive
+    non-overlapping deterministic substreams from one experiment seed.
+    """
+    mixed = hash((int(seed),) + tuple(str(s) for s in salt)) & 0x7FFF_FFFF_FFFF_FFFF
+    return random.Random(mixed)
+
+
+#: Cached cumulative Zipf weights, keyed by (population size, skew).
+_ZIPF_CDF_CACHE: Dict[Tuple[int, float], List[float]] = {}
+
+
+def _zipf_cdf(n: int, skew: float) -> List[float]:
+    cached = _ZIPF_CDF_CACHE.get((n, skew))
+    if cached is None:
+        cached = []
+        total = 0.0
+        for rank in range(n):
+            total += (rank + 1) ** -skew
+            cached.append(total)
+        _ZIPF_CDF_CACHE[(n, skew)] = cached
+    return cached
+
+
+def zipf_choice(rng: random.Random, items: Sequence[T], skew: float = 1.2) -> T:
+    """Pick one item with a Zipf-like preference for earlier entries.
+
+    Social-network activity is heavily skewed (a few users generate most
+    posts); LSBench models this, and our generator follows suit.  The
+    cumulative weight table is cached per (len(items), skew), so repeated
+    draws cost one bisect each.
+    """
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    cdf = _zipf_cdf(len(items), skew)
+    target = rng.random() * cdf[-1]
+    return items[bisect_left(cdf, target)]

@@ -1,0 +1,21 @@
+"""SPARQL / C-SPARQL front end: AST, lexer, parser and query planner."""
+
+from repro.sparql.ast import (
+    TriplePattern,
+    WindowSpec,
+    Query,
+    is_variable,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import ExecutionPlan, PlannedStep, plan_query
+
+__all__ = [
+    "TriplePattern",
+    "WindowSpec",
+    "Query",
+    "is_variable",
+    "parse_query",
+    "ExecutionPlan",
+    "PlannedStep",
+    "plan_query",
+]

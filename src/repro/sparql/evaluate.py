@@ -1,0 +1,203 @@
+"""Shared evaluation of FILTER expressions and aggregates.
+
+Both execution engines use these helpers — the graph explorer applies
+filters as soon as their variables are bound (pruning mid-exploration) and
+aggregates after projection; the relational baselines apply both after
+their joins.  Keeping one implementation guarantees identical semantics,
+which the cross-validation property tests rely on.
+
+Values: terms are entity IDs internally; numeric comparisons and SUM/AVG
+parse the entity *name* as a number (``95`` is numeric, ``Spots95`` is
+not).  Rows whose operand is non-numeric fail ordering filters and are
+skipped by numeric aggregates, following SPARQL's error-as-elimination
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import PlanError
+from repro.sparql.ast import Aggregate, FilterExpr, Query, is_variable
+
+#: One variable-binding row (vids).
+Row = Dict[str, int]
+
+#: Resolves a vid back to its entity name.
+NameOf = Callable[[int], str]
+
+#: Resolves an entity name to its vid (None when unknown).
+ResolveEntity = Callable[[str], Optional[int]]
+
+
+def term_number(name: str) -> Optional[float]:
+    """The numeric value of a term name, or None if it is not a number."""
+    try:
+        return float(name)
+    except ValueError:
+        return None
+
+
+def _operand(term: str, row: Row, name_of: NameOf,
+             resolve: ResolveEntity) -> Tuple[Optional[int], Optional[str]]:
+    """Resolve one filter operand to ``(vid, name)`` under a row."""
+    if is_variable(term):
+        vid = row.get(term)
+        if vid is None:
+            raise PlanError(f"filter variable never bound: {term}")
+        return vid, name_of(vid)
+    return resolve(term), term
+
+
+def filter_matches(expr: FilterExpr, row: Row, name_of: NameOf,
+                   resolve: ResolveEntity) -> bool:
+    """Whether one row satisfies one FILTER expression."""
+    left_vid, left_name = _operand(expr.left, row, name_of, resolve)
+    right_vid, right_name = _operand(expr.right, row, name_of, resolve)
+    if expr.op == "=":
+        if left_vid is not None and right_vid is not None:
+            return left_vid == right_vid
+        return left_name == right_name
+    if expr.op == "!=":
+        if left_vid is not None and right_vid is not None:
+            return left_vid != right_vid
+        return left_name != right_name
+    left_num = term_number(left_name) if left_name is not None else None
+    right_num = term_number(right_name) if right_name is not None else None
+    if left_num is None or right_num is None:
+        return False  # SPARQL: type errors eliminate the row
+    if expr.op == "<":
+        return left_num < right_num
+    if expr.op == "<=":
+        return left_num <= right_num
+    if expr.op == ">":
+        return left_num > right_num
+    return left_num >= right_num
+
+
+def apply_filters(rows: List[Row], filters: Sequence[FilterExpr],
+                  name_of: NameOf, resolve: ResolveEntity,
+                  meter=None, cost=None, strict: bool = True) -> List[Row]:
+    """Keep the rows satisfying every filter.
+
+    With ``strict=False``, a filter referencing a variable the row leaves
+    unbound (an unmatched OPTIONAL) eliminates the row instead of raising
+    — SPARQL's error-as-false semantics.
+    """
+    if not filters:
+        return rows
+
+    def matches(expr: FilterExpr, row: Row) -> bool:
+        try:
+            return filter_matches(expr, row, name_of, resolve)
+        except PlanError:
+            if strict:
+                raise
+            return False
+
+    out = []
+    for row in rows:
+        if meter is not None and cost is not None:
+            meter.charge(cost.filter_ns, times=len(filters),
+                         category="filter")
+        if all(matches(f, row) for f in filters):
+            out.append(row)
+    return out
+
+
+def filters_by_step(query: Query, step_variables: Sequence[Set[str]]
+                    ) -> Tuple[List[List[FilterExpr]], List[FilterExpr]]:
+    """Assign each filter to the earliest step after which its variables
+    are all bound (enabling mid-exploration pruning).
+
+    ``step_variables[i]`` is the set of variables bound after step ``i``.
+    Returns ``(per-step assignments, leftovers)``; leftovers reference
+    variables only OPTIONAL groups bind and must run after those resolve.
+    Raises when a filter references a variable the query never binds at
+    all.
+    """
+    all_bound = set(query.variables())
+    assignments: List[List[FilterExpr]] = [[] for _ in step_variables]
+    leftovers: List[FilterExpr] = []
+    for expr in query.filters:
+        needed = set(expr.variables())
+        if not needed <= all_bound:
+            raise PlanError(
+                f"filter references unbound variable(s): {expr}")
+        placed = False
+        for index, bound in enumerate(step_variables):
+            if needed <= bound:
+                assignments[index].append(expr)
+                placed = True
+                break
+        if not placed:
+            leftovers.append(expr)
+    return assignments, leftovers
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+#: Aggregated values can be counts/sums (numbers), not vids.
+Value = Union[int, float]
+
+
+def _aggregate_value(agg: Aggregate, group: List[Row],
+                     name_of: NameOf) -> Optional[Value]:
+    if agg.func == "COUNT":
+        if agg.var is None:
+            return len(group)
+        return sum(1 for row in group if agg.var in row)
+    numbers: List[float] = []
+    names: List[str] = []
+    for row in group:
+        vid = row.get(agg.var)
+        if vid is None:
+            continue
+        name = name_of(vid)
+        names.append(name)
+        number = term_number(name)
+        if number is not None:
+            numbers.append(number)
+    if agg.func == "SUM":
+        return sum(numbers)
+    if agg.func == "AVG":
+        return sum(numbers) / len(numbers) if numbers else None
+    # MIN/MAX: numeric when every value is numeric, else lexicographic.
+    if not names:
+        return None
+    if len(numbers) == len(names):
+        return min(numbers) if agg.func == "MIN" else max(numbers)
+    return (min(names) if agg.func == "MIN" else max(names))  # type: ignore
+
+
+def aggregate_rows(rows: List[Row], query: Query, name_of: NameOf,
+                   meter=None, cost=None) -> List[tuple]:
+    """Group + aggregate solution rows into final result tuples.
+
+    Result columns are ``query.output_columns()``: the GROUP BY keys (as
+    vids) followed by the aggregate values (as Python numbers/strings).
+    Solutions are deduplicated on all their variables first (set
+    semantics, matching the explorer's deduplicating projection).
+    """
+    if not query.aggregates:
+        raise ValueError("query has no aggregates")
+    distinct: Dict[tuple, Row] = {}
+    all_vars = query.variables()
+    for row in rows:
+        key = tuple(row.get(var, -1) for var in all_vars)
+        distinct.setdefault(key, row)
+    groups: Dict[tuple, List[Row]] = {}
+    for row in distinct.values():
+        key = tuple(row.get(var, -1) for var in query.group_by)
+        groups.setdefault(key, []).append(row)
+        if meter is not None and cost is not None:
+            meter.charge(cost.binding_ns, category="aggregate")
+    out = []
+    for key in sorted(groups):
+        group = groups[key]
+        values = tuple(_aggregate_value(agg, group, name_of)
+                       for agg in query.aggregates)
+        out.append(key + values)
+    return out

@@ -1,0 +1,141 @@
+"""Tokenizer for the SPARQL / C-SPARQL subset.
+
+Produces a flat token stream of words, variables, punctuation and
+bracket/brace delimiters, with position information for error messages.
+IRI angle brackets are stripped (``<X-Lab>`` tokenizes as the word
+``X-Lab``); ``#`` comments run to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+#: Single-character punctuation tokens.
+_PUNCT = "{}[].,()*"
+
+#: Comparison operators (two-character forms matched first).
+_TWO_CHAR_OPS = ("<=", ">=", "!=")
+_ONE_CHAR_OPS = "<>=!"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    text: str
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split query text into tokens.
+
+    >>> [t.text for t in tokenize("SELECT ?X { ?X po T-13 . }")]
+    ['SELECT', '?X', '{', '?X', 'po', 'T-13', '.', '}']
+    """
+    tokens: List[Token] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0]
+        column = 0
+        length = len(line)
+        while column < length:
+            char = line[column]
+            if char.isspace():
+                column += 1
+                continue
+            if char in _PUNCT:
+                tokens.append(Token(char, lineno, column + 1))
+                column += 1
+                continue
+            if char == "<" and _looks_like_iri(line, column):
+                close = line.find(">", column)
+                tokens.append(Token(line[column + 1:close], lineno, column + 1))
+                column = close + 1
+                continue
+            if line[column:column + 2] in _TWO_CHAR_OPS:
+                tokens.append(Token(line[column:column + 2], lineno,
+                                    column + 1))
+                column += 2
+                continue
+            if char in _ONE_CHAR_OPS:
+                tokens.append(Token(char, lineno, column + 1))
+                column += 1
+                continue
+            if char == '"':
+                close = line.find('"', column + 1)
+                if close == -1:
+                    raise ParseError("unterminated string literal",
+                                     line=lineno, column=column + 1)
+                tokens.append(Token(line[column + 1:close], lineno, column + 1))
+                column = close + 1
+                continue
+            start = column
+            while (column < length and not line[column].isspace()
+                   and line[column] not in _PUNCT
+                   and line[column] not in _ONE_CHAR_OPS
+                   and line[column] != '"'):
+                column += 1
+            tokens.append(Token(line[start:column], lineno, start + 1))
+    return tokens
+
+
+def _looks_like_iri(line: str, column: int) -> bool:
+    """Whether a ``<`` at ``column`` opens an IRI (vs a comparison).
+
+    IRIs contain no whitespace, so the closing ``>`` must appear before
+    the next space.
+    """
+    close = line.find(">", column)
+    if close == -1:
+        return False
+    return " " not in line[column:close] and "\t" not in line[column:close]
+
+
+class TokenCursor:
+    """Sequential reader over a token list with small lookahead helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def peek(self, offset: int = 0) -> Token | None:
+        """The token ``offset`` ahead, or None past the end."""
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def next(self) -> Token:
+        """Consume and return the next token."""
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        """Consume the next token, requiring it to equal ``text`` (case-insensitive
+        for keywords)."""
+        token = self.next()
+        if token.text != text and token.upper != text.upper():
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}",
+                line=token.line, column=token.column)
+        return token
+
+    def accept(self, text: str) -> bool:
+        """Consume the next token if it matches ``text``; return whether it did."""
+        token = self.peek()
+        if token is not None and (token.text == text or token.upper == text.upper()):
+            self._pos += 1
+            return True
+        return False

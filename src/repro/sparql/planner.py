@@ -1,0 +1,152 @@
+"""Query planner: selectivity-ordered graph exploration.
+
+Wukong executes a query as *graph exploration*: start from a constant
+vertex (or, failing that, a predicate-index vertex) and extend variable
+bindings one triple pattern at a time, always preferring patterns whose
+subject or object is already bound so each step is an indexed neighbour
+lookup rather than a cross product.  The integrated design lets the planner
+see stream and stored patterns together, which is exactly the global
+optimisation opportunity the composite design lacks (§2.3, Issue #2).
+
+The planner emits an ordered list of :class:`PlannedStep`, each annotated
+with how the executor should evaluate it:
+
+``const_subject`` / ``const_object``
+    Start (or continue) from a constant vertex key.
+``bound_subject`` / ``bound_object``
+    Expand each existing binding row through a neighbour lookup.
+``index``
+    Enumerate vertices from the predicate index (used only when no
+    constant or bound variable is available — the non-selective queries of
+    the paper's group II start this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.errors import PlanError
+from repro.sparql.ast import Query, TriplePattern, is_variable
+
+#: Step kinds, ordered from most to least selective.
+CONST_SUBJECT = "const_subject"
+CONST_OBJECT = "const_object"
+BOUND_SUBJECT = "bound_subject"
+BOUND_OBJECT = "bound_object"
+INDEX_START = "index"
+
+
+@dataclass(frozen=True)
+class PlannedStep:
+    """One pattern with the access path chosen by the planner."""
+
+    pattern: TriplePattern
+    kind: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.pattern}"
+
+
+@dataclass
+class ExecutionPlan:
+    """The ordered steps for one query."""
+
+    query: Query
+    steps: List[PlannedStep]
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def _classify(pattern: TriplePattern, bound: Set[str]) -> Optional[str]:
+    """The best access path for ``pattern`` given already-bound variables.
+
+    Returns None when the pattern can only run as an index scan.
+    """
+    subject_const = not is_variable(pattern.subject)
+    object_const = not is_variable(pattern.object)
+    if subject_const:
+        return CONST_SUBJECT
+    if object_const:
+        return CONST_OBJECT
+    if pattern.subject in bound:
+        return BOUND_SUBJECT
+    if pattern.object in bound:
+        return BOUND_OBJECT
+    return None
+
+
+def _score(kind: Optional[str]) -> int:
+    """Lower scores are tried first (more selective)."""
+    order = {CONST_SUBJECT: 0, CONST_OBJECT: 0, BOUND_SUBJECT: 1,
+             BOUND_OBJECT: 1, None: 3}
+    return order[kind]
+
+
+def plan_steps(patterns: Sequence[TriplePattern],
+               prebound: Set[str] = frozenset()) -> List[PlannedStep]:
+    """Greedily order a bare pattern list, given already-bound variables.
+
+    Used for sub-queries whose seed rows come from elsewhere (e.g. the
+    composite design ships stream-side bindings into the Wukong
+    subcomponent); ``prebound`` names the variables those seeds bind.
+    """
+    for pattern in patterns:
+        if is_variable(pattern.predicate):
+            raise PlanError(
+                f"variable predicates are unsupported: {pattern}")
+    remaining = list(range(len(patterns)))
+    bound = set(prebound)
+    steps: List[PlannedStep] = []
+    while remaining:
+        best_idx = None
+        best_key = None
+        for position, idx in enumerate(remaining):
+            kind = _classify(patterns[idx], bound)
+            key = (_score(kind), position)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = idx
+        assert best_idx is not None
+        pattern = patterns[best_idx]
+        kind = _classify(pattern, bound) or INDEX_START
+        steps.append(PlannedStep(pattern, kind))
+        bound.update(pattern.variables())
+        remaining.remove(best_idx)
+    return steps
+
+
+def plan_query(query: Query,
+               fixed_order: Optional[Sequence[int]] = None) -> ExecutionPlan:
+    """Produce an execution plan for ``query``.
+
+    With ``fixed_order`` (a permutation of pattern indices) the planner
+    keeps that exact order and only classifies the access path of each
+    step; benchmarks use this to reproduce the paper's deliberately
+    sub-optimal composite plans (Fig. 4b).
+    """
+    for pattern in query.patterns:
+        if is_variable(pattern.predicate):
+            raise PlanError(
+                f"variable predicates are unsupported: {pattern}")
+
+    if fixed_order is not None:
+        ordering = list(fixed_order)
+        if sorted(ordering) != list(range(len(query.patterns))):
+            raise PlanError(
+                f"fixed_order must permute 0..{len(query.patterns) - 1}: "
+                f"{ordering}")
+        steps: List[PlannedStep] = []
+        bound: Set[str] = set()
+        for idx in ordering:
+            pattern = query.patterns[idx]
+            kind = _classify(pattern, bound) or INDEX_START
+            steps.append(PlannedStep(pattern, kind))
+            bound.update(pattern.variables())
+        return ExecutionPlan(query, steps)
+
+    return ExecutionPlan(query, plan_steps(query.patterns))

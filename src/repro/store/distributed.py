@@ -1,0 +1,207 @@
+"""The distributed Wukong store: one shard per simulated node.
+
+Placement follows Wukong's hash partitioning: the key ``[vid|eid|d]`` lives
+on ``owner_of(vid)``.  Each triple ``(s, p, o)`` therefore produces an
+out-edge entry on the owner of ``s``, an in-edge entry on the owner of
+``o``, and index-vertex registrations on those same nodes (index vertices
+are split across machines, each node indexing its local vertices).
+
+Remote access pricing mirrors the paper: a normal remote key/value access
+costs **two** one-sided RDMA reads (one to locate the key, one to fetch the
+value); the stream index removes the first of these (§5, "Leveraging
+RDMA").  Without RDMA, the same accesses become TCP round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
+from repro.rdf.string_server import StringServer
+from repro.rdf.terms import EncodedTriple, Triple
+from repro.sim.cluster import Cluster
+from repro.sim.cost import LatencyMeter
+from repro.store.kvstore import BASE_SN, ShardStore, ValueSpan
+
+#: Approximate wire size of one key descriptor (for remote key lookups).
+_KEY_BYTES = 32
+
+
+class StoreAccess(Protocol):
+    """What the graph explorer needs from a data source.
+
+    Implementations exist for the persistent store (here), for stream
+    windows via the stream index (``repro.core.stream_index``), and for the
+    transient store (``repro.core.transient``).
+    """
+
+    def resolve_entity(self, name: str) -> Optional[int]:
+        """vid for a constant term, or None if the term is unknown."""
+        ...
+
+    def resolve_predicate(self, name: str) -> Optional[int]:
+        """eid for a predicate, or None if unknown."""
+        ...
+
+    def neighbors(self, vid: int, eid: int, d: int,
+                  meter: LatencyMeter) -> List[int]:
+        """Neighbour vids of ``vid`` through ``eid`` edges in direction ``d``."""
+        ...
+
+    def index_vertices(self, eid: int, d: int,
+                       meter: LatencyMeter) -> List[int]:
+        """Vertices having a ``d``-direction ``eid`` edge (index-vertex read)."""
+        ...
+
+
+class DistributedStore:
+    """All shards of the persistent store plus placement logic."""
+
+    def __init__(self, cluster: Cluster, strings: StringServer):
+        self.cluster = cluster
+        self.strings = strings
+        self.shards: List[ShardStore] = [
+            ShardStore(cluster.cost) for _ in range(cluster.num_nodes)
+        ]
+
+    # -- loading / injection --------------------------------------------
+    def insert_out_edge(self, enc: EncodedTriple, sn: int = BASE_SN,
+                        meter: Optional[LatencyMeter] = None) -> ValueSpan:
+        """Insert the out-edge half of a triple on the subject's owner node.
+
+        Returns the inserted span so the injector can index it.
+        """
+        s_node = self.cluster.owner_of(enc.s)
+        span = self.shards[s_node].insert(
+            make_key(enc.s, enc.p, DIR_OUT), enc.o, sn=sn, meter=meter)
+        self.shards[s_node].add_index(enc.p, DIR_OUT, enc.s, meter=meter)
+        return span
+
+    def insert_in_edge(self, enc: EncodedTriple, sn: int = BASE_SN,
+                       meter: Optional[LatencyMeter] = None) -> ValueSpan:
+        """Insert the in-edge half of a triple on the object's owner node."""
+        o_node = self.cluster.owner_of(enc.o)
+        span = self.shards[o_node].insert(
+            make_key(enc.o, enc.p, DIR_IN), enc.s, sn=sn, meter=meter)
+        self.shards[o_node].add_index(enc.p, DIR_IN, enc.o, meter=meter)
+        return span
+
+    def insert_encoded(self, enc: EncodedTriple, sn: int = BASE_SN,
+                       meter: Optional[LatencyMeter] = None
+                       ) -> Dict[str, ValueSpan]:
+        """Insert one full encoded triple under snapshot ``sn``.
+
+        Returns the out-edge and in-edge spans so the injector can build
+        stream-index entries for them.
+        """
+        return {
+            "out": self.insert_out_edge(enc, sn=sn, meter=meter),
+            "in": self.insert_in_edge(enc, sn=sn, meter=meter),
+        }
+
+    def load(self, triples: Iterable[Triple]) -> int:
+        """Bulk-load initial (string) triples at the base snapshot."""
+        count = 0
+        for triple in triples:
+            self.insert_encoded(self.strings.encode_triple(triple))
+            count += 1
+        return count
+
+    def compact(self, bound_sn: int) -> int:
+        """Run bounded scalarization on every shard; returns keys touched."""
+        return sum(shard.compact(bound_sn) for shard in self.shards)
+
+    # -- placement-aware reads --------------------------------------------
+    def neighbors_from(self, home_node: int, vid: int, eid: int, d: int,
+                       meter: LatencyMeter, max_sn: Optional[int] = None,
+                       category: str = "store") -> List[int]:
+        """Neighbour lookup as seen from ``home_node``.
+
+        Local keys pay probe+scan; remote keys additionally pay two remote
+        reads (key, then value), per the paper's RDMA cost analysis.
+        """
+        owner = self.cluster.owner_of(vid)
+        key = make_key(vid, eid, d)
+        shard = self.shards[owner]
+        if owner != home_node:
+            self.cluster.fabric.remote_read(meter, _KEY_BYTES,
+                                            category="network")
+            self.cluster.fabric.remote_read(meter, shard.value_bytes(key),
+                                            category="network")
+        return shard.lookup(key, max_sn=max_sn, meter=meter, category=category)
+
+    def span_from(self, home_node: int, span: ValueSpan, owner: int,
+                  meter: LatencyMeter, category: str = "store") -> List[int]:
+        """Direct span read (stream-index fast path): at most one remote read."""
+        shard = self.shards[owner]
+        if owner != home_node:
+            self.cluster.fabric.remote_read(meter, 16 + 8 * span.length,
+                                            category="network")
+        return shard.lookup_span(span, meter=meter, category=category)
+
+    def local_index(self, node_id: int, eid: int, d: int,
+                    meter: LatencyMeter, category: str = "store") -> List[int]:
+        """One node's local portion of an index vertex."""
+        return self.shards[node_id].index_vertices(eid, d, meter=meter,
+                                                   category=category)
+
+    def gather_index(self, home_node: int, eid: int, d: int,
+                     meter: LatencyMeter, category: str = "store") -> List[int]:
+        """The full index vertex, gathering remote portions over the fabric."""
+        vertices: List[int] = []
+        for node_id, shard in enumerate(self.shards):
+            part = shard.index_vertices(eid, d, meter=meter, category=category)
+            if node_id != home_node and part:
+                self.cluster.fabric.remote_read(
+                    meter, 16 + 8 * len(part), category="network")
+            vertices.extend(part)
+        return vertices
+
+    # -- stats ---------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return sum(shard.num_entries for shard in self.shards)
+
+    def memory_bytes(self) -> int:
+        return sum(shard.memory_bytes() for shard in self.shards)
+
+
+class PersistentAccess:
+    """`StoreAccess` over the persistent store, as seen from one node.
+
+    ``max_sn`` bounds visibility for snapshot-isolated one-shot queries;
+    None reads everything (used while loading and by trusted internals).
+    ``local_index_only`` restricts index-vertex enumeration to the home
+    node's shard — the fork-join execution mode gives each branch such an
+    access so branches partition the start vertices.
+    """
+
+    def __init__(self, store: DistributedStore, home_node: int = 0,
+                 max_sn: Optional[int] = None,
+                 local_index_only: bool = False):
+        self.store = store
+        self.home_node = home_node
+        self.max_sn = max_sn
+        self.local_index_only = local_index_only
+
+    def resolve_entity(self, name: str) -> Optional[int]:
+        return self.store.strings.lookup_entity(name)
+
+    def resolve_predicate(self, name: str) -> Optional[int]:
+        return self.store.strings.lookup_predicate(name)
+
+    def neighbors(self, vid: int, eid: int, d: int,
+                  meter: LatencyMeter) -> List[int]:
+        return self.store.neighbors_from(self.home_node, vid, eid, d, meter,
+                                         max_sn=self.max_sn)
+
+    def index_vertices(self, eid: int, d: int,
+                       meter: LatencyMeter) -> List[int]:
+        if self.local_index_only:
+            return self.store.local_index(self.home_node, eid, d, meter)
+        return self.store.gather_index(self.home_node, eid, d, meter)
+
+    def index_vertices_local(self, eid: int, d: int, node_id: int,
+                             meter: LatencyMeter) -> List[int]:
+        """One node's index portion (fork-join/migrate branch start set)."""
+        return self.store.local_index(node_id, eid, d, meter)

@@ -1,0 +1,546 @@
+"""The graph-exploration query executor.
+
+Evaluates an :class:`~repro.sparql.planner.ExecutionPlan` by extending
+variable-binding rows one pattern at a time, exactly as Wukong's
+exploration engine: each step turns the current binding set into neighbour
+lookups, so intermediate results stay pruned instead of exploding through
+relational joins (the "join bomb" the paper contrasts against).
+
+Three execution modes mirror the paper (§5, "Leveraging RDMA"):
+
+*in-place* — one worker on one node runs the whole query, fetching remote
+data with one-sided RDMA reads.  Chosen for selective queries (constant
+start), which touch a modest amount of data.
+
+*fork-join* — the query forks to every node; each branch explores from its
+local portion of the start set (partitioned by vertex owner) and partial
+results are gathered at the home node.  Chosen for non-selective
+(index-start) queries; latency is the slowest branch plus fork/gather.
+
+*migrate* — the non-RDMA fallback: execution hops between nodes following
+the data, shipping binding rows in bulk messages between steps instead of
+issuing per-read round trips.  Every neighbour lookup is local by
+construction (rows are routed to the owner of their step's start vertex).
+
+Sources are pluggable: the caller supplies an ``access_factory`` mapping a
+node id to a pattern->:class:`~repro.store.distributed.StoreAccess`
+resolver, so the same executor drives one-shot queries (persistent store
+only) and continuous queries (stream windows + persistent store) — the
+global-plan advantage of the integrated design.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.rdf.ids import DIR_IN, DIR_OUT
+from repro.sim.cluster import Cluster
+from repro.sim.cost import LatencyMeter
+from repro.sparql.ast import TriplePattern, is_variable
+from repro.sparql.planner import (
+    BOUND_OBJECT,
+    BOUND_SUBJECT,
+    CONST_OBJECT,
+    CONST_SUBJECT,
+    ExecutionPlan,
+    INDEX_START,
+    PlannedStep,
+)
+from repro.store.distributed import StoreAccess
+
+#: One variable-binding row.
+Row = Dict[str, int]
+
+#: Maps a pattern to the data source it should read.
+AccessResolver = Callable[[TriplePattern], StoreAccess]
+
+#: Maps a node id to that node's pattern resolver.
+AccessFactory = Callable[[int], AccessResolver]
+
+#: Estimated wire size of one binding row during migration/gather
+#: (a few 8-byte bindings plus framing).
+_ROW_BYTES = 48
+
+
+@dataclass
+class ExecutionResult:
+    """Rows produced by one query execution."""
+
+    variables: List[str]
+    rows: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> List[Dict[str, int]]:
+        return [dict(zip(self.variables, row)) for row in self.rows]
+
+    def as_bool(self) -> bool:
+        """The boolean answer of an ASK query (any solution exists)."""
+        return bool(self.rows)
+
+
+class GraphExplorer:
+    """Executes plans against pluggable store accesses.
+
+    ``strings`` (the string server) is needed to evaluate FILTER
+    expressions and aggregates, whose semantics depend on entity names;
+    plain pattern queries run without it.
+    """
+
+    def __init__(self, cluster: Cluster, strings=None):
+        self.cluster = cluster
+        self.cost = cluster.cost
+        self.strings = strings
+
+    # -- public entry points ------------------------------------------------
+    def execute(self, plan: ExecutionPlan, access_factory: AccessFactory,
+                meter: LatencyMeter, home_node: int = 0,
+                mode: str = "auto") -> ExecutionResult:
+        """Run ``plan`` and return projected, deduplicated rows.
+
+        ``mode`` is ``"auto"`` (migrate when the fabric lacks RDMA;
+        fork-join for index starts on multi-node clusters; in-place
+        otherwise), ``"in_place"``, ``"fork_join"`` or ``"migrate"``.
+        """
+        if not plan.steps and not plan.query.unions:
+            raise PlanError("cannot execute an empty plan")
+        filters_at, leftover_filters = self._filter_schedule(plan)
+        if mode == "auto":
+            if not self.cluster.fabric.use_rdma \
+                    and self.cluster.num_nodes > 1:
+                mode = "migrate"
+            elif plan.steps and plan.steps[0].kind == INDEX_START \
+                    and self.cluster.num_nodes > 1:
+                mode = "fork_join"
+            else:
+                mode = "in_place"
+        if not plan.steps:
+            rows = [{}]  # a pure-UNION WHERE block
+        elif mode == "in_place":
+            rows = self._run_steps(plan.steps, access_factory(home_node),
+                                   meter, filters_at=filters_at)
+        elif mode == "fork_join":
+            rows = self._run_fork_join(plan, access_factory, meter,
+                                       home_node, filters_at)
+        elif mode == "migrate":
+            rows = self._run_migrate(plan, access_factory, meter, home_node,
+                                     filters_at)
+        else:
+            raise PlanError(f"unknown execution mode: {mode}")
+        if plan.query.unions and rows:
+            rows = self._apply_unions(plan.query, rows,
+                                      access_factory(home_node), meter)
+        if plan.query.optionals and rows:
+            rows = self._apply_optionals(plan.query, rows,
+                                         access_factory(home_node), meter)
+        if leftover_filters and rows:
+            # Filters over OPTIONAL-bound variables run once those resolve
+            # (an unmatched OPTIONAL leaves them unbound -> row eliminated).
+            from repro.sparql.evaluate import apply_filters
+            first_access = access_factory(home_node)(plan.steps[0].pattern)
+            rows = apply_filters(rows, leftover_filters,
+                                 self.strings.entity_name,
+                                 first_access.resolve_entity, meter,
+                                 self.cost, strict=False)
+        return self._project(plan, rows, meter)
+
+    def _filter_schedule(self, plan: ExecutionPlan):
+        """Assign each FILTER to the earliest step binding its variables."""
+        if not plan.query.filters:
+            return None, []
+        if self.strings is None:
+            raise PlanError(
+                "FILTER evaluation needs a string server; construct the "
+                "explorer with GraphExplorer(cluster, strings)")
+        from repro.sparql.evaluate import filters_by_step
+        bound: set = set()
+        step_vars = []
+        for step in plan.steps:
+            bound |= set(step.pattern.variables())
+            step_vars.append(set(bound))
+        return filters_by_step(plan.query, step_vars)
+
+    def _apply_unions(self, query, rows: List[Row],
+                      access_for: AccessResolver,
+                      meter: LatencyMeter) -> List[Row]:
+        """Alternate each UNION: concatenate the branches' extensions.
+
+        Branches bind identical variable sets (the parser enforces it),
+        so downstream joins and projections see uniform rows.
+        """
+        from repro.sparql.planner import plan_steps
+        bound = set(query.mandatory_variables())
+        for union in query.unions:
+            combined: List[Row] = []
+            for branch in union:
+                steps = plan_steps(branch, prebound=bound)
+                for row in rows:
+                    combined.extend(self.explore(steps, access_for, meter,
+                                                 seeds=[row]))
+            rows = combined
+            if not rows:
+                break
+            bound |= {var for pattern in union[0]
+                      for var in pattern.variables()}
+        return rows
+
+    def _apply_optionals(self, query, rows: List[Row],
+                         access_for: AccessResolver,
+                         meter: LatencyMeter) -> List[Row]:
+        """Left-outer-join each OPTIONAL group onto the solution rows.
+
+        Rows the group cannot extend survive with its variables unbound —
+        SPARQL's OPTIONAL semantics.  Optional resolution runs at the home
+        node (seeds are the already-pruned solution set).
+        """
+        from repro.sparql.planner import plan_steps
+        bound = set(query.mandatory_variables())
+        for union in query.unions:
+            bound |= {var for pattern in union[0]
+                      for var in pattern.variables()}
+        for group in query.optionals:
+            steps = plan_steps(group, prebound=bound)
+            extended: List[Row] = []
+            for row in rows:
+                matches = self.explore(steps, access_for, meter,
+                                       seeds=[row])
+                if matches:
+                    extended.extend(matches)
+                else:
+                    extended.append(row)
+            rows = extended
+            bound |= {var for pattern in group
+                      for var in pattern.variables()}
+        return rows
+
+    def _apply_step_filters(self, rows: List[Row], filters,
+                            access: StoreAccess,
+                            meter: LatencyMeter) -> List[Row]:
+        if not filters or not rows:
+            return rows
+        from repro.sparql.evaluate import apply_filters
+        return apply_filters(rows, filters, self.strings.entity_name,
+                             access.resolve_entity, meter, self.cost)
+
+    def explore(self, steps: Sequence[PlannedStep],
+                access_for: AccessResolver, meter: LatencyMeter,
+                seeds: Optional[List[Row]] = None) -> List[Row]:
+        """Run bare plan steps from ``seeds`` (default: one empty row).
+
+        Returns raw binding rows without projection.  Used for embedded
+        sub-queries whose seed bindings come from another system (the
+        composite design) and by tests.
+        """
+        rows: List[Row] = [dict(seed) for seed in seeds] \
+            if seeds is not None else [{}]
+        for step in steps:
+            if not rows:
+                break
+            rows = self._expand(step, rows, access_for(step.pattern), meter)
+        return rows
+
+    # -- fork-join ----------------------------------------------------------
+    def _run_fork_join(self, plan: ExecutionPlan,
+                       access_factory: AccessFactory, meter: LatencyMeter,
+                       home_node: int,
+                       filters_at: Optional[List[List]] = None) -> List[Row]:
+        """Distributed execution with explicit fork/gather bookkeeping.
+
+        The dataflow is the migrating execution (rows follow the data);
+        fork-join adds the per-node dispatch cost and, with RDMA enabled,
+        moves every bulk transfer over one-sided verbs instead of TCP.
+        """
+        rows = self._run_migrate(plan, access_factory, meter, home_node,
+                                 filters_at)
+        meter.charge(self.cost.join_gather_ns, category="gather")
+        return rows
+
+    # -- migrating execution ---------------------------------------------------
+    def _run_migrate(self, plan: ExecutionPlan,
+                     access_factory: AccessFactory, meter: LatencyMeter,
+                     home_node: int,
+                     filters_at: Optional[List[List]] = None) -> List[Row]:
+        """Distributed execution: rows follow the data in bulk transfers."""
+        resolvers: Dict[int, AccessResolver] = {
+            node.node_id: access_factory(node.node_id)
+            for node in self.cluster.alive_nodes()
+        }
+        located: Dict[int, List[Row]] = {home_node: [{}]}
+        for index, step in enumerate(plan.steps):
+            routed = self._route(step, located, resolvers, meter)
+            if not routed:
+                located = {}
+                break
+            branches = []
+            next_located: Dict[int, List[Row]] = {}
+            for node_id, rows in routed.items():
+                branch = meter.spawn()
+                access = resolvers[node_id](step.pattern)
+                out = self._expand(step, rows, access,
+                                   branch, index_owner=node_id
+                                   if step.kind == INDEX_START else None)
+                if filters_at is not None:
+                    out = self._apply_step_filters(out, filters_at[index],
+                                                   access, branch)
+                if out:
+                    next_located[node_id] = out
+                branches.append(branch)
+            meter.join_parallel(branches)
+            located = next_located
+            if not located:
+                break
+        # Gather partial results back at the home node (parallel sends).
+        gather = []
+        all_rows: List[Row] = []
+        for node_id, rows in located.items():
+            branch = meter.spawn()
+            if node_id != home_node and rows:
+                self.cluster.fabric.bulk_transfer(
+                    branch, _ROW_BYTES * len(rows), category="network")
+            gather.append(branch)
+            all_rows.extend(rows)
+        meter.join_parallel(gather)
+        return all_rows
+
+    def _route(self, step: PlannedStep, located: Dict[int, List[Row]],
+               resolvers: Dict[int, AccessResolver],
+               meter: LatencyMeter) -> Dict[int, List[Row]]:
+        """Move rows to the owner of the step's start vertex.
+
+        Migration messages from different nodes are concurrent; the meter
+        is charged with the largest transfer of the round.
+        """
+        pattern = step.pattern
+        all_rows = [row for rows in located.values() for row in rows]
+        routed: Dict[int, List[Row]] = defaultdict(list)
+        if step.kind == INDEX_START:
+            # Broadcast: every node explores its local start vertices.
+            # Dispatching the sub-query to each node is the fork cost.
+            meter.charge(self.cost.fork_ns, times=len(resolvers),
+                         category="fork")
+            for node_id in resolvers:
+                routed[node_id] = [dict(row) for row in all_rows]
+        elif step.kind in (CONST_SUBJECT, CONST_OBJECT):
+            term = pattern.subject if step.kind == CONST_SUBJECT \
+                else pattern.object
+            any_resolver = next(iter(resolvers.values()))
+            vid = any_resolver(pattern).resolve_entity(term)
+            if vid is None:
+                return {}
+            routed[self.cluster.owner_of(vid)] = all_rows
+        else:
+            var = pattern.subject if step.kind == BOUND_SUBJECT \
+                else pattern.object
+            for row in all_rows:
+                routed[self.cluster.owner_of(row[var])].append(row)
+        # Charge the migration round: the largest single transfer that
+        # actually crosses nodes (sends proceed in parallel).
+        largest = 0
+        for dst, rows in routed.items():
+            stayed = len(located.get(dst, ()))
+            moving = max(0, len(rows) - stayed)
+            largest = max(largest, moving)
+        if largest and len(located) == 1 and set(located) == set(routed):
+            largest = 0  # everything already sits on the right node
+        if largest:
+            self.cluster.fabric.bulk_transfer(meter, _ROW_BYTES * largest,
+                                              category="network")
+        return dict(routed)
+
+    # -- core exploration -----------------------------------------------------
+    def _run_steps(self, steps: Sequence[PlannedStep],
+                   access_for: AccessResolver, meter: LatencyMeter,
+                   index_owner: Optional[int] = None,
+                   filters_at: Optional[List[List]] = None) -> List[Row]:
+        """Run all steps on one node.  ``index_owner`` restricts INDEX_START
+        enumeration to vertices owned by that node (fork-join branches)."""
+        rows: List[Row] = [{}]
+        for index, step in enumerate(steps):
+            owner = index_owner if step.kind == INDEX_START else None
+            access = access_for(step.pattern)
+            rows = self._expand(step, rows, access, meter,
+                                index_owner=owner)
+            if filters_at is not None:
+                rows = self._apply_step_filters(rows, filters_at[index],
+                                                access, meter)
+            if not rows:
+                break
+        return rows
+
+    def _expand(self, step: PlannedStep, rows: List[Row],
+                access: StoreAccess, meter: LatencyMeter,
+                index_owner: Optional[int] = None) -> List[Row]:
+        pattern = step.pattern
+        eid = access.resolve_predicate(pattern.predicate)
+        if eid is None:
+            return []
+
+        if step.kind == CONST_SUBJECT:
+            svid = access.resolve_entity(pattern.subject)
+            if svid is None:
+                return []
+            neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
+            return self._bind_side(rows, pattern.object, neighbors, access,
+                                   meter)
+        if step.kind == CONST_OBJECT:
+            ovid = access.resolve_entity(pattern.object)
+            if ovid is None:
+                return []
+            neighbors = access.neighbors(ovid, eid, DIR_IN, meter)
+            return self._bind_side(rows, pattern.subject, neighbors, access,
+                                   meter)
+        if step.kind == BOUND_SUBJECT:
+            return self._expand_bound(rows, pattern.subject, pattern.object,
+                                      eid, DIR_OUT, access, meter)
+        if step.kind == BOUND_OBJECT:
+            return self._expand_bound(rows, pattern.object, pattern.subject,
+                                      eid, DIR_IN, access, meter)
+        if step.kind == INDEX_START:
+            return self._expand_index(rows, pattern, eid, access, meter,
+                                      index_owner)
+        raise PlanError(f"unknown step kind: {step.kind}")
+
+    def _bind_side(self, rows: List[Row], term: str, neighbors: List[int],
+                   access: StoreAccess, meter: LatencyMeter) -> List[Row]:
+        """Match or bind one side of a pattern against a neighbour list,
+        shared by every input row (the other side was a constant)."""
+        out: List[Row] = []
+        if not is_variable(term):
+            required = access.resolve_entity(term)
+            if required is None or required not in neighbors:
+                return []
+            meter.charge(self.cost.binding_ns, times=len(rows),
+                         category="explore")
+            return list(rows)
+        for row in rows:
+            bound = row.get(term)
+            if bound is not None:
+                if bound in neighbors:
+                    out.append(row)
+                    meter.charge(self.cost.binding_ns, category="explore")
+                continue
+            for vid in neighbors:
+                extended = dict(row)
+                extended[term] = vid
+                out.append(extended)
+                meter.charge(self.cost.binding_ns, category="explore")
+        return out
+
+    def _expand_bound(self, rows: List[Row], bound_term: str, other_term: str,
+                      eid: int, direction: int, access: StoreAccess,
+                      meter: LatencyMeter) -> List[Row]:
+        """Expand rows through neighbour lookups of an already-bound variable."""
+        out: List[Row] = []
+        fetched: Dict[int, List[int]] = {}
+        other_const: Optional[int] = None
+        if not is_variable(other_term):
+            other_const = access.resolve_entity(other_term)
+            if other_const is None:
+                return []
+        for row in rows:
+            start = row.get(bound_term)
+            if start is None:
+                # The variable is unbound in this row (unmatched OPTIONAL):
+                # the pattern cannot join it.
+                continue
+            neighbors = fetched.get(start)
+            if neighbors is None:
+                neighbors = access.neighbors(start, eid, direction, meter)
+                fetched[start] = neighbors
+            if other_const is not None:
+                if other_const in neighbors:
+                    out.append(row)
+                    meter.charge(self.cost.binding_ns, category="explore")
+                continue
+            bound_other = row.get(other_term)
+            if bound_other is not None:
+                if bound_other in neighbors:
+                    out.append(row)
+                    meter.charge(self.cost.binding_ns, category="explore")
+                continue
+            for vid in neighbors:
+                extended = dict(row)
+                extended[other_term] = vid
+                out.append(extended)
+                meter.charge(self.cost.binding_ns, category="explore")
+        return out
+
+    def _expand_index(self, rows: List[Row], pattern: TriplePattern, eid: int,
+                      access: StoreAccess, meter: LatencyMeter,
+                      index_owner: Optional[int] = None) -> List[Row]:
+        """Enumerate subjects from the predicate index, then bind objects.
+
+        With ``index_owner``, only start vertices owned by that node are
+        expanded — fork-join/migrate branches partition the start set.
+        """
+        if index_owner is not None:
+            local_fn = getattr(access, "index_vertices_local", None)
+            if local_fn is not None:
+                subjects = local_fn(eid, DIR_OUT, index_owner, meter)
+            else:
+                subjects = [vid
+                            for vid in access.index_vertices(eid, DIR_OUT,
+                                                             meter)
+                            if self.cluster.owner_of(vid) == index_owner]
+        else:
+            subjects = access.index_vertices(eid, DIR_OUT, meter)
+        out: List[Row] = []
+        for row in rows:
+            for svid in subjects:
+                if is_variable(pattern.subject):
+                    if pattern.subject in row and row[pattern.subject] != svid:
+                        continue
+                    seed = dict(row)
+                    seed[pattern.subject] = svid
+                else:
+                    resolved = access.resolve_entity(pattern.subject)
+                    if resolved != svid:
+                        continue
+                    seed = dict(row)
+                neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
+                out.extend(self._bind_side([seed], pattern.object, neighbors,
+                                           access, meter))
+        return out
+
+    # -- projection ------------------------------------------------------------
+    def _project(self, plan: ExecutionPlan, rows: List[Row],
+                 meter: LatencyMeter) -> ExecutionResult:
+        query = plan.query
+        if query.is_ask:
+            return ExecutionResult(variables=[],
+                                   rows=[()] if rows else [])
+        if query.aggregates:
+            if self.strings is None:
+                raise PlanError(
+                    "aggregates need a string server; construct the "
+                    "explorer with GraphExplorer(cluster, strings)")
+            from repro.sparql.evaluate import aggregate_rows
+            out = aggregate_rows(rows, query, self.strings.entity_name,
+                                 meter, self.cost)
+            return ExecutionResult(variables=query.output_columns(),
+                                   rows=_slice(out, query))
+        variables = query.projected()
+        result = ExecutionResult(variables=variables)
+        seen = set()
+        for row in rows:
+            projected = tuple(row.get(var, -1) for var in variables)
+            if projected not in seen:
+                seen.add(projected)
+                result.rows.append(projected)
+        meter.charge(self.cost.binding_ns, times=len(result.rows),
+                     category="project")
+        result.rows = _slice(result.rows, query)
+        return result
+
+
+def _slice(rows: List[Tuple[int, ...]], query) -> List[Tuple[int, ...]]:
+    """Apply the query's OFFSET/LIMIT to the solution sequence."""
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[:query.limit]
+    return rows

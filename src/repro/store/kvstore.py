@@ -1,0 +1,235 @@
+"""One shard of the snapshot-versioned key/value graph store.
+
+Layout follows Wukong (Fig. 6): the key combines vertex ID, predicate ID
+and direction (``[vid|eid|d]``); the value is the list of neighbouring
+vertex IDs.  Wukong+S extends the value lists with *snapshot numbers*
+(§4.3): every entry carries the SN of the stream batch that inserted it
+(the initially loaded data carries SN 0), entries are appended in
+non-decreasing SN order, and a reader at stable SN ``n`` sees exactly the
+prefix of entries with SN <= ``n`` — snapshot isolation without locks.
+
+Bounded scalarization is implemented by :meth:`ShardStore.compact`, which
+relabels entries at or below a bound into the base snapshot so each key
+retains only a bounded number of distinct SN segments (the paper keeps two:
+one being read, one being inserted).
+
+*Value spans* — ``(offset, length)`` windows into a key's entry list — are
+returned by inserts so the stream index (§4.2) can later read exactly the
+entries contributed by one stream batch, skipping the scan of the rest of
+the value.  Compaction never reorders entries, so spans stay valid until
+the index slice that holds them is garbage-collected.
+
+Index vertices (``[0|p|d]``) are kept in a separate map, deduplicated, and
+are *not* partitioned by the reserved vid 0: each shard indexes its own
+local vertices, which is how Wukong distributes index vertices.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.rdf.ids import DIR_IN, DIR_OUT, Key
+from repro.sim.cost import CostModel, LatencyMeter, MemoryModel
+
+#: Initially loaded (bulk) data carries the base snapshot number.
+BASE_SN = 0
+
+
+@dataclass(frozen=True)
+class ValueSpan:
+    """A contiguous window of one key's value list: ``[offset, offset+length)``."""
+
+    key: Key
+    offset: int
+    length: int
+
+
+class _ValueList:
+    """The versioned neighbour list of one key.
+
+    ``vids`` and ``sns`` are parallel arrays; ``sns`` is non-decreasing.
+    """
+
+    __slots__ = ("vids", "sns")
+
+    def __init__(self) -> None:
+        self.vids: List[int] = []
+        self.sns: List[int] = []
+
+    def append(self, vid: int, sn: int) -> int:
+        """Append one entry; returns its offset."""
+        if self.sns and sn < self.sns[-1]:
+            raise StoreError(
+                f"snapshot numbers must be appended in order: "
+                f"{sn} after {self.sns[-1]}")
+        self.vids.append(vid)
+        self.sns.append(sn)
+        return len(self.vids) - 1
+
+    def visible(self, max_sn: Optional[int]) -> List[int]:
+        """Entries visible at snapshot ``max_sn`` (None = everything)."""
+        if max_sn is None:
+            return self.vids
+        cut = bisect_right(self.sns, max_sn)
+        return self.vids[:cut]
+
+    def distinct_sns(self) -> int:
+        """Number of distinct snapshot segments (memory-accounting input)."""
+        count = 0
+        previous = None
+        for sn in self.sns:
+            if sn != previous:
+                count += 1
+                previous = sn
+        return count
+
+    def compact(self, bound_sn: int) -> None:
+        """Relabel entries with SN <= ``bound_sn`` into the base snapshot."""
+        cut = bisect_right(self.sns, bound_sn)
+        for i in range(cut):
+            self.sns[i] = BASE_SN
+
+
+class ShardStore:
+    """The store partition held by one simulated node."""
+
+    def __init__(self, cost: Optional[CostModel] = None):
+        self.cost = cost if cost is not None else CostModel()
+        self._values: Dict[Key, _ValueList] = {}
+        self._index: Dict[Tuple[int, int], List[int]] = {}
+        self._index_members: Dict[Tuple[int, int], Set[int]] = {}
+
+    # -- writes ---------------------------------------------------------
+    def insert(self, key: Key, vid: int, sn: int = BASE_SN,
+               meter: Optional[LatencyMeter] = None) -> ValueSpan:
+        """Append ``vid`` to ``key``'s value list under snapshot ``sn``.
+
+        Returns the single-entry span of the appended value, which callers
+        may coalesce into batch spans for the stream index.
+        """
+        values = self._values.get(key)
+        if values is None:
+            values = _ValueList()
+            self._values[key] = values
+            if meter is not None:
+                meter.charge(self.cost.create_key_ns, category="insert")
+        offset = values.append(vid, sn)
+        if meter is not None:
+            meter.charge(self.cost.insert_entry_ns, category="insert")
+        return ValueSpan(key, offset, 1)
+
+    def add_index(self, eid: int, d: int, vid: int,
+                  meter: Optional[LatencyMeter] = None) -> bool:
+        """Record that local vertex ``vid`` has a ``d``-direction ``eid`` edge.
+
+        Index vertices are sets: duplicate registrations are ignored.
+        Returns whether a new entry was added.
+        """
+        if d not in (DIR_IN, DIR_OUT):
+            raise StoreError(f"bad direction: {d}")
+        slot = (eid, d)
+        members = self._index_members.setdefault(slot, set())
+        if vid in members:
+            return False
+        members.add(vid)
+        self._index.setdefault(slot, []).append(vid)
+        if meter is not None:
+            meter.charge(self.cost.insert_entry_ns, category="insert")
+        return True
+
+    def compact(self, bound_sn: int) -> int:
+        """Bounded scalarization: fold SNs <= ``bound_sn`` into the base.
+
+        Returns how many keys were touched.
+        """
+        touched = 0
+        for values in self._values.values():
+            before = values.distinct_sns()
+            values.compact(bound_sn)
+            if values.distinct_sns() != before:
+                touched += 1
+        return touched
+
+    # -- reads ------------------------------------------------------------
+    def lookup(self, key: Key, max_sn: Optional[int] = None,
+               meter: Optional[LatencyMeter] = None,
+               category: str = "store") -> List[int]:
+        """All vids of ``key`` visible at ``max_sn``.
+
+        Charges one hash probe plus a scan proportional to the visible
+        prefix length.
+        """
+        values = self._values.get(key)
+        if meter is not None:
+            meter.charge(self.cost.hash_probe_ns, category=category)
+        if values is None:
+            return []
+        visible = values.visible(max_sn)
+        if meter is not None:
+            meter.charge(self.cost.scan_entry_ns, times=len(visible),
+                         category=category)
+        return visible
+
+    def lookup_span(self, span: ValueSpan,
+                    meter: Optional[LatencyMeter] = None,
+                    category: str = "store") -> List[int]:
+        """Read exactly one span of a key's value list (stream-index path).
+
+        No hash probe is charged: the span's fat pointer addresses the
+        value directly (the paper's one-RDMA-read fast path).
+        """
+        values = self._values.get(span.key)
+        if values is None:
+            raise StoreError(f"span refers to unknown key: {span.key}")
+        end = span.offset + span.length
+        if end > len(values.vids):
+            raise StoreError(
+                f"span out of bounds: {span} (list length {len(values.vids)})")
+        if meter is not None:
+            meter.charge(self.cost.scan_entry_ns, times=span.length,
+                         category=category)
+        return values.vids[span.offset:end]
+
+    def index_vertices(self, eid: int, d: int,
+                       meter: Optional[LatencyMeter] = None,
+                       category: str = "store") -> List[int]:
+        """The local vertices registered under index ``[0|eid|d]``."""
+        vertices = self._index.get((eid, d), [])
+        if meter is not None:
+            meter.charge(self.cost.hash_probe_ns, category=category)
+            meter.charge(self.cost.scan_entry_ns, times=len(vertices),
+                         category=category)
+        return vertices
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        return len(self._values)
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(v.vids) for v in self._values.values())
+
+    def value_bytes(self, key: Key) -> int:
+        """Approximate wire size of one key's value (for network pricing)."""
+        values = self._values.get(key)
+        length = len(values.vids) if values is not None else 0
+        return 16 + 8 * length
+
+    def iter_keys(self) -> Iterator[Key]:
+        return iter(self._values.keys())
+
+    def memory_bytes(self, memory: Optional[MemoryModel] = None) -> int:
+        """Modelled resident bytes of this shard (Table 7 / §6.7 accounting)."""
+        model = memory if memory is not None else MemoryModel()
+        total = 0
+        for values in self._values.values():
+            total += model.key_bytes
+            total += model.entry_bytes * len(values.vids)
+            total += model.sn_segment_bytes * values.distinct_sns()
+        for vertices in self._index.values():
+            total += model.key_bytes + model.entry_bytes * len(vertices)
+        return total

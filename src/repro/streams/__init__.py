@@ -1,0 +1,12 @@
+"""Stream abstractions: schemas, batches, replayable sources and window math."""
+
+from repro.streams.stream import StreamSchema, StreamBatch
+from repro.streams.source import StreamSource
+from repro.streams.window import WindowPlanner
+
+__all__ = [
+    "StreamSchema",
+    "StreamBatch",
+    "StreamSource",
+    "WindowPlanner",
+]

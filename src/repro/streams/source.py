@@ -1,0 +1,111 @@
+"""Replayable stream sources (upstream backup).
+
+The paper's fault-tolerance story assumes *upstream backup*: sources buffer
+recently sent batches and replay them on request after a failure (§5).  A
+:class:`StreamSource` wraps a batch supply with exactly that contract: the
+engine acknowledges batches once they are covered by a durable checkpoint,
+the source trims its buffer up to the acknowledgement, and replay
+re-delivers everything still buffered after a given batch number.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, Iterator, List, Optional
+
+from repro.errors import StreamError
+from repro.rdf.terms import TimedTuple
+from repro.streams.stream import StreamBatch, StreamSchema, batch_tuples
+
+
+class StreamSource:
+    """One stream's producer with an upstream-backup buffer.
+
+    Parameters
+    ----------
+    schema:
+        The stream's schema (name + timing predicates).
+    batches:
+        The batch supply, typically from
+        :func:`repro.streams.stream.batch_tuples` or a workload generator.
+    """
+
+    def __init__(self, schema: StreamSchema,
+                 batches: Iterable[StreamBatch] = ()):
+        self.schema = schema
+        self._pending: Deque[StreamBatch] = deque()
+        self._backup: List[StreamBatch] = []
+        self._acked_through = 0
+        self._last_queued = 0
+        for batch in batches:
+            self.queue(batch)
+
+    # -- producing -------------------------------------------------------
+    def queue(self, batch: StreamBatch) -> None:
+        """Append one batch to the supply (must arrive in order)."""
+        if batch.stream != self.schema.name:
+            raise StreamError(
+                f"batch for {batch.stream!r} queued on stream "
+                f"{self.schema.name!r}")
+        if batch.batch_no != self._last_queued + 1:
+            raise StreamError(
+                f"batches must be queued in order: got #{batch.batch_no} "
+                f"after #{self._last_queued}")
+        self._last_queued = batch.batch_no
+        self._pending.append(batch)
+
+    def queue_tuples(self, tuples: Iterable[TimedTuple], start_ms: int,
+                     interval_ms: int) -> int:
+        """Batch raw tuples and queue them; returns the number of batches."""
+        batches = batch_tuples(self.schema.name, tuples, start_ms, interval_ms)
+        for batch in batches:
+            self.queue(batch)
+        return len(batches)
+
+    # -- consuming ---------------------------------------------------------
+    def next_batch(self) -> Optional[StreamBatch]:
+        """Deliver the next batch (also retained in the backup buffer)."""
+        if not self._pending:
+            return None
+        batch = self._pending.popleft()
+        self._backup.append(batch)
+        return batch
+
+    def drain(self) -> Iterator[StreamBatch]:
+        """Deliver every remaining batch."""
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return
+            yield batch
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    # -- upstream backup ------------------------------------------------------
+    def ack(self, batch_no: int) -> None:
+        """Durable-checkpoint acknowledgement: trim backup through ``batch_no``."""
+        if batch_no < self._acked_through:
+            raise StreamError(
+                f"acknowledgements must not regress: {batch_no} < "
+                f"{self._acked_through}")
+        self._acked_through = batch_no
+        self._backup = [b for b in self._backup if b.batch_no > batch_no]
+
+    def replay(self, after_batch_no: int) -> List[StreamBatch]:
+        """Batches delivered but newer than ``after_batch_no`` (for recovery).
+
+        Raises if the request reaches below the acknowledged (trimmed)
+        prefix: such data is gone by contract and must come from a
+        checkpoint instead.
+        """
+        if after_batch_no < self._acked_through:
+            raise StreamError(
+                f"cannot replay from #{after_batch_no + 1}: batches through "
+                f"#{self._acked_through} were acknowledged and trimmed")
+        return [b for b in self._backup if b.batch_no > after_batch_no]
+
+    @property
+    def backup_size(self) -> int:
+        return len(self._backup)

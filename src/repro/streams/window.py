@@ -1,0 +1,95 @@
+"""Window arithmetic for continuous queries.
+
+A continuous query declares, per stream, a window ``[RANGE r STEP s]``.
+The engine is *data-driven* (§4.3): an execution closing at time ``t``
+needs every stream batch whose interval ends at or before ``t``, and reads
+tuples with timestamps in ``[t - r, t)``.  The :class:`WindowPlanner` does
+the bookkeeping that converts between execution times and batch numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import StreamError
+from repro.sparql.ast import WindowSpec
+
+
+@dataclass(frozen=True)
+class WindowPlanner:
+    """Batch/window math for one stream consumed by one query.
+
+    Parameters
+    ----------
+    window:
+        The query's window over this stream.
+    batch_interval_ms:
+        The Adaptor's mini-batch interval for the stream.
+    stream_start_ms:
+        Timestamp at which the stream's batch #1 opens.
+    """
+
+    window: WindowSpec
+    batch_interval_ms: int
+    stream_start_ms: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_interval_ms <= 0:
+            raise StreamError(
+                f"batch interval must be positive: {self.batch_interval_ms}")
+        if self.window.step_ms % self.batch_interval_ms != 0:
+            raise StreamError(
+                f"window step {self.window.step_ms}ms must be a multiple of "
+                f"the batch interval {self.batch_interval_ms}ms")
+
+    def last_batch_needed(self, close_ms: int) -> int:
+        """The highest batch number an execution closing at ``close_ms`` needs.
+
+        Batch k covers ``[start+(k-1)*i, start+k*i)``; it is needed when its
+        interval closes at or before ``close_ms``.
+        """
+        if close_ms < self.stream_start_ms:
+            return 0
+        return (close_ms - self.stream_start_ms) // self.batch_interval_ms
+
+    def batch_range(self, close_ms: int) -> Tuple[int, int]:
+        """Inclusive batch-number range ``(first, last)`` whose intervals
+        overlap the window closing at ``close_ms`` (``first > last`` means
+        the window is empty)."""
+        window_start, window_end = self.window.span_at(close_ms)
+        last = self.last_batch_needed(window_end)
+        if window_start < self.stream_start_ms:
+            first = 1
+        else:
+            first = (window_start - self.stream_start_ms) \
+                // self.batch_interval_ms + 1
+        return first, last
+
+    def span_at(self, close_ms: int) -> Tuple[int, int]:
+        """Tuple-timestamp interval ``[start, end)`` of the window closing
+        at ``close_ms``."""
+        return self.window.span_at(close_ms)
+
+
+def next_execution_ms(registered_ms: int, step_ms: int, now_ms: int) -> int:
+    """The first execution boundary at or after ``now_ms``.
+
+    Executions fire at ``registered_ms + k*step_ms`` for k >= 1.
+    """
+    if now_ms <= registered_ms:
+        return registered_ms + step_ms
+    elapsed = now_ms - registered_ms
+    k = (elapsed + step_ms - 1) // step_ms
+    return registered_ms + max(1, k) * step_ms
+
+
+def expiry_floor_ms(close_ms: int, windows: Dict[str, WindowSpec]) -> int:
+    """The earliest timestamp any window closing at ``close_ms`` still needs.
+
+    Data older than this is expired for these queries and may be garbage
+    collected.
+    """
+    if not windows:
+        return close_ms
+    return min(close_ms - spec.range_ms for spec in windows.values())

@@ -1,0 +1,152 @@
+"""Tests for the Storm/Heron + Wukong composite engine."""
+
+import pytest
+
+from repro.baselines.composite import CompositeEngine
+from repro.sim.cluster import Cluster
+from repro.sparql.parser import parse_query
+
+from baselines.helpers import (EXPECTED_QC_AT_10S, feed, qc_query,
+                               stream_only_query, to_names)
+
+
+def build(framework="storm", plan="interleaved", num_nodes=1):
+    engine = CompositeEngine(Cluster(num_nodes=num_nodes),
+                             framework=framework, plan=plan)
+    return feed(engine)
+
+
+class TestCorrectness:
+    def test_qc_matches_expected(self):
+        engine = build()
+        rows, _, _ = engine.execute_continuous(qc_query(), 10_000)
+        assert to_names(engine.strings, rows) == EXPECTED_QC_AT_10S
+
+    def test_stream_first_plan_same_results(self):
+        a = build(plan="interleaved")
+        b = build(plan="stream_first")
+        rows_a, _, _ = a.execute_continuous(qc_query(), 10_000)
+        rows_b, _, _ = b.execute_continuous(qc_query(), 10_000)
+        assert to_names(a.strings, rows_a) == to_names(b.strings, rows_b)
+
+    def test_stream_only_query_never_touches_wukong(self):
+        engine = build()
+        _, _, breakdown = engine.execute_continuous(stream_only_query(),
+                                                    10_000)
+        assert breakdown.wukong_ms == 0.0
+        assert breakdown.cross_ms == 0.0
+
+    def test_oneshot_runs_on_static_store_only(self):
+        engine = build()
+        # T-15 arrived via the stream; the composite one-shot path cannot
+        # see it (the design is not fully stateful, §2.3).
+        rows, _ = engine.execute_oneshot(parse_query(
+            "SELECT ?X WHERE { Logan po ?X . ?X ht sosp17 }"))
+        assert to_names(engine.strings, rows) == [("T-13",)]
+
+
+class TestCrossSystemCost:
+    def test_qc_pays_cross_system_cost(self):
+        engine = build()
+        _, _, breakdown = engine.execute_continuous(qc_query(), 10_000)
+        assert breakdown.cross_ms > 0
+        assert breakdown.wukong_ms > 0
+        assert breakdown.processor_ms > 0
+        assert 0 < breakdown.cross_fraction < 1
+
+    def test_interleaved_crosses_twice(self):
+        engine = build(plan="interleaved")
+        _, _, breakdown = engine.execute_continuous(qc_query(), 10_000)
+        wukong_segments = [s for s in breakdown.segments if s[0] == "wukong"]
+        assert len(wukong_segments) == 1  # one stored segment, crossed once
+
+    def test_stream_first_ships_larger_intermediate(self):
+        inter = build(plan="interleaved")
+        first = build(plan="stream_first")
+        _, _, bd_inter = inter.execute_continuous(qc_query(), 10_000)
+        _, _, bd_first = first.execute_continuous(qc_query(), 10_000)
+        # Joining the two stream patterns early produces a bigger
+        # intermediate than pruning through the stored pattern (Fig. 4b).
+        assert bd_first.processor_ms >= bd_inter.processor_ms
+
+
+class TestFrameworks:
+    def test_heron_is_faster_than_storm(self):
+        storm = build(framework="storm")
+        heron = build(framework="heron")
+        _, storm_meter, _ = storm.execute_continuous(qc_query(), 10_000)
+        _, heron_meter, _ = heron.execute_continuous(qc_query(), 10_000)
+        assert heron_meter.ms < storm_meter.ms
+
+    def test_heron_same_results(self):
+        storm = build(framework="storm")
+        heron = build(framework="heron")
+        rows_s, _, _ = storm.execute_continuous(qc_query(), 10_000)
+        rows_h, _, _ = heron.execute_continuous(qc_query(), 10_000)
+        assert to_names(storm.strings, rows_s) == \
+            to_names(heron.strings, rows_h)
+
+    def test_unknown_framework_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeEngine(Cluster(1), framework="flink")
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeEngine(Cluster(1), plan="zigzag")
+
+
+class TestAgainstWukongS:
+    def test_results_match_integrated_engine(self):
+        from repro.core.engine import EngineConfig, WukongSEngine
+        from repro.streams.source import StreamSource
+        from baselines.helpers import SCHEMAS, static_triples, \
+            stream_batches, QC_TEXT
+
+        integrated = WukongSEngine(
+            schemas=SCHEMAS,
+            config=EngineConfig(num_nodes=2, batch_interval_ms=1000))
+        integrated.load_static(static_triples())
+        by_stream = {}
+        for batch in stream_batches():
+            by_stream.setdefault(batch.stream, []).append(batch)
+        for stream, batches in by_stream.items():
+            source = StreamSource(integrated.schemas[stream])
+            for batch in batches:
+                source.queue(batch)
+            integrated.attach_source(source)
+        registered = integrated.register_continuous(QC_TEXT)
+        integrated.run_until(10_000)
+        record = integrated.continuous.execute_once(registered, 10_000)
+        integrated_rows = to_names(integrated.strings, record.result.rows)
+
+        composite = build()
+        rows, _, _ = composite.execute_continuous(qc_query(), 10_000)
+        assert to_names(composite.strings, rows) == integrated_rows
+
+    def test_composite_is_slower_than_integrated(self):
+        # The headline claim: the integrated design beats the composite
+        # one on the same query and data.
+        from repro.core.engine import EngineConfig, WukongSEngine
+        from repro.streams.source import StreamSource
+        from baselines.helpers import SCHEMAS, static_triples, \
+            stream_batches, QC_TEXT
+
+        integrated = WukongSEngine(
+            schemas=SCHEMAS,
+            config=EngineConfig(num_nodes=1, batch_interval_ms=1000))
+        integrated.load_static(static_triples())
+        by_stream = {}
+        for batch in stream_batches():
+            by_stream.setdefault(batch.stream, []).append(batch)
+        for stream, batches in by_stream.items():
+            source = StreamSource(integrated.schemas[stream])
+            for batch in batches:
+                source.queue(batch)
+            integrated.attach_source(source)
+        registered = integrated.register_continuous(QC_TEXT)
+        integrated.run_until(10_000)
+        record = integrated.continuous.execute_once(registered, 10_000)
+
+        composite = build()
+        _, meter, _ = composite.execute_continuous(qc_query(), 10_000)
+        assert meter.ms > record.latency_ms

@@ -1,0 +1,71 @@
+"""Cross-engine result agreement on CityBench.
+
+Feed the identical city workload to Wukong+S, CSPARQL-engine and Spark
+Streaming and require every supported query's rows to match at the same
+window close time — the system-level extension of the executor-vs-
+relational property tests.
+"""
+
+import pytest
+
+from repro.baselines.csparql_engine import CSparqlEngine
+from repro.baselines.spark import SparkStreamingEngine
+from repro.bench.citybench import ALL_QUERIES, CityBench, CityBenchConfig
+from repro.bench.harness import build_wukongs, feed_baseline
+from repro.sparql.parser import parse_query
+
+DURATION_MS = 8_000
+CLOSE_MS = 8_000
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    bench = CityBench(CityBenchConfig.tiny())
+    integrated = build_wukongs(bench, num_nodes=2, duration_ms=DURATION_MS,
+                               batch_interval_ms=1_000)
+    handles = {name: integrated.register_continuous(
+        bench.continuous_query(name)) for name in ALL_QUERIES}
+    integrated.run_until(DURATION_MS)
+
+    csparql = feed_baseline(CSparqlEngine(), bench, DURATION_MS,
+                            batch_interval_ms=1_000)
+    spark = feed_baseline(SparkStreamingEngine(), bench, DURATION_MS,
+                          batch_interval_ms=1_000)
+    return bench, integrated, handles, csparql, spark
+
+
+def integrated_rows(integrated, handles, name):
+    handle = handles[name]
+    record = next(rec for rec in handle.executions
+                  if rec.close_ms == CLOSE_MS)
+    return {tuple(integrated.strings.entity_name(v) for v in row)
+            for row in record.result.rows}
+
+
+def baseline_rows(engine, bench, name):
+    rows, _ = engine.execute_continuous(
+        parse_query(bench.continuous_query(name)), CLOSE_MS)
+    return {tuple(engine.strings.entity_name(v) for v in row)
+            for row in rows}
+
+
+@pytest.mark.parametrize("name", ALL_QUERIES)
+def test_csparql_agrees(scenario, name):
+    bench, integrated, handles, csparql, _ = scenario
+    assert baseline_rows(csparql, bench, name) == \
+        integrated_rows(integrated, handles, name), name
+
+
+@pytest.mark.parametrize("name", ALL_QUERIES)
+def test_spark_agrees(scenario, name):
+    bench, integrated, handles, _, spark = scenario
+    assert baseline_rows(spark, bench, name) == \
+        integrated_rows(integrated, handles, name), name
+
+
+def test_queries_produce_data(scenario):
+    bench, integrated, handles, _, _ = scenario
+    populated = [name for name in ALL_QUERIES
+                 if integrated_rows(integrated, handles, name)]
+    # Most of the city queries should find matches in an 8s run.
+    assert len(populated) >= 7, populated

@@ -1,0 +1,73 @@
+"""Cross-engine result agreement on LSBench (L1-L6)."""
+
+import pytest
+
+from repro.baselines.spark import SparkStreamingEngine
+from repro.baselines.wukong_ext import WukongExtEngine
+from repro.bench.lsbench import LSBench, LSBenchConfig, QUERY_STREAMS
+from repro.bench.harness import build_wukongs, feed_baseline
+from repro.sim.cluster import Cluster
+from repro.sparql.parser import parse_query
+
+DURATION_MS = 3_000
+CLOSE_MS = 3_000
+
+L_QUERIES = list(QUERY_STREAMS)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    bench = LSBench(LSBenchConfig.tiny())
+    integrated = build_wukongs(bench, num_nodes=3, duration_ms=DURATION_MS)
+    handles = {name: integrated.register_continuous(
+        bench.continuous_query(name)) for name in L_QUERIES}
+    integrated.run_until(DURATION_MS)
+
+    spark = feed_baseline(SparkStreamingEngine(), bench, DURATION_MS)
+    ext = feed_baseline(WukongExtEngine(Cluster(num_nodes=3)), bench,
+                        DURATION_MS)
+    return bench, integrated, handles, spark, ext
+
+
+def integrated_rows(integrated, handles, name):
+    handle = handles[name]
+    record = next(rec for rec in handle.executions
+                  if rec.close_ms == CLOSE_MS)
+    return {tuple(integrated.strings.entity_name(v) for v in row)
+            for row in record.result.rows}
+
+
+@pytest.mark.parametrize("name", L_QUERIES)
+def test_spark_agrees(scenario, name):
+    bench, integrated, handles, spark, _ = scenario
+    query = parse_query(bench.continuous_query(name))
+    if name == "L2":
+        # L2's stored pattern reads *absorbed* stream posts; Spark's
+        # static DataFrame never absorbs them (the statefulness gap the
+        # paper highlights), so Spark legitimately under-reports.
+        rows, _ = spark.execute_continuous(query, CLOSE_MS)
+        got = {tuple(spark.strings.entity_name(v) for v in row)
+               for row in rows}
+        assert got <= integrated_rows(integrated, handles, name)
+        return
+    rows, _ = spark.execute_continuous(query, CLOSE_MS)
+    got = {tuple(spark.strings.entity_name(v) for v in row) for row in rows}
+    assert got == integrated_rows(integrated, handles, name), name
+
+
+@pytest.mark.parametrize("name", L_QUERIES)
+def test_wukong_ext_agrees(scenario, name):
+    bench, integrated, handles, _, ext = scenario
+    query = parse_query(bench.continuous_query(name))
+    result, _ = ext.execute_continuous(query, CLOSE_MS)
+    got = {tuple(ext.strings.entity_name(v) for v in row)
+           for row in result.rows}
+    # Wukong/Ext absorbs everything, including timeless stream data, so
+    # it matches the integrated engine exactly (L2 included).
+    assert got == integrated_rows(integrated, handles, name), name
+
+
+def test_group_ii_produces_rows(scenario):
+    bench, integrated, handles, _, _ = scenario
+    for name in ("L4", "L5"):
+        assert integrated_rows(integrated, handles, name), name

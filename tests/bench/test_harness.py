@@ -1,0 +1,105 @@
+"""Tests for the experiment harness and mixed-workload driver."""
+
+import pytest
+
+from repro.bench.harness import (build_wukongs, feed_baseline, format_table,
+                                 measure_baseline, measure_wukongs,
+                                 median_of, stream_batches_for)
+from repro.bench.lsbench import LSBench, LSBenchConfig
+from repro.bench.workload import run_mixed_workload
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return LSBench(LSBenchConfig.tiny())
+
+
+class TestBuilders:
+    def test_build_wukongs_attaches_all_streams(self, bench):
+        engine = build_wukongs(bench, num_nodes=2, duration_ms=1_000)
+        assert set(engine.sources) == {"PO", "PO_L", "PH", "PH_L", "GPS"}
+        assert engine.cluster.num_nodes == 2
+
+    def test_stream_batches_cover_duration(self, bench):
+        batches = stream_batches_for(bench, 1_000, batch_interval_ms=100)
+        for stream in ("PO", "PO_L"):
+            numbers = [b.batch_no for b in batches if b.stream == stream]
+            assert numbers == sorted(numbers)
+
+    def test_feed_baseline_loads_and_ingests(self, bench):
+        from repro.baselines.csparql_engine import CSparqlEngine
+        engine = feed_baseline(CSparqlEngine(), bench, 1_000)
+        assert engine.store.num_triples > 0
+        assert engine.buffers
+
+
+class TestMeasurement:
+    def test_measure_wukongs_collects_per_query(self, bench):
+        engine = build_wukongs(bench, num_nodes=1, duration_ms=2_000)
+        samples = measure_wukongs(
+            engine, {"L1": bench.continuous_query("L1")}, 2_000)
+        assert samples["L1"]
+        assert all(lat > 0 for lat in samples["L1"])
+
+    def test_measure_wukongs_warmup_delays_registration(self, bench):
+        engine = build_wukongs(bench, num_nodes=1, duration_ms=2_000)
+        samples = measure_wukongs(
+            engine, {"L1": bench.continuous_query("L1")}, 2_000,
+            warmup_ms=1_500)
+        handle = engine.continuous.queries["L1"]
+        assert all(rec.close_ms > 1_500 for rec in handle.executions)
+        assert samples["L1"]
+
+    def test_measure_baseline(self, bench):
+        from repro.baselines.csparql_engine import CSparqlEngine
+        engine = feed_baseline(CSparqlEngine(), bench, 2_000)
+        samples = measure_baseline(
+            engine, {"L1": bench.continuous_query("L1")}, [1_500, 2_000])
+        assert len(samples["L1"]) == 2
+
+    def test_median_of_handles_empty(self):
+        out = median_of({"a": [1.0, 3.0, 2.0], "b": []})
+        assert out["a"] == 2.0
+        assert out["b"] != out["b"]  # NaN
+
+
+class TestMixedWorkload:
+    def test_throughput_model(self, bench):
+        result = run_mixed_workload(bench, ["L1", "L2"], num_nodes=2,
+                                    duration_ms=2_000,
+                                    variants_per_class=2)
+        assert result.total_workers == 32
+        assert result.throughput_qps > 0
+        assert result.mixture_mean_latency_ms > 0
+        # throughput = workers / mean latency, by construction.
+        expected = 32 / (result.mixture_mean_latency_ms / 1e3)
+        assert result.throughput_qps == pytest.approx(expected)
+
+    def test_percentiles_and_cdf(self, bench):
+        result = run_mixed_workload(bench, ["L1"], num_nodes=1,
+                                    duration_ms=2_000)
+        p50 = result.latency_percentile_ms(50)
+        p99 = result.latency_percentile_ms(99)
+        assert p50 <= p99
+        cdf = result.class_cdf("L1")
+        assert cdf and abs(cdf[-1][1] - 1.0) < 1e-9
+
+    def test_more_nodes_more_throughput(self, bench):
+        small = run_mixed_workload(bench, ["L1", "L2"], num_nodes=1,
+                                   duration_ms=2_000)
+        big = run_mixed_workload(bench, ["L1", "L2"], num_nodes=4,
+                                 duration_ms=2_000)
+        assert big.total_workers > small.total_workers
+
+
+class TestFormatting:
+    def test_format_table_aligns_and_marks(self):
+        table = format_table("T", ["Q", "ms"],
+                             [["L1", 0.5], ["L4", float("nan")],
+                              ["L5", None], ["L6", 1234.6]],
+                             note="note")
+        assert "== T ==" in table
+        assert "x" in table          # NaN -> unsupported mark
+        assert "-" in table          # None -> absent
+        assert "1,235" in table      # large values grouped
+        assert table.endswith("note")

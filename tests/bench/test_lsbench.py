@@ -1,0 +1,136 @@
+"""Tests for the LSBench generator and query catalogue."""
+
+import pytest
+
+from repro.bench.lsbench import (GROUP_I, GROUP_II, LSBench, LSBenchConfig,
+                                 PAPER_RATES, QUERY_STREAMS)
+from repro.sparql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return LSBench(LSBenchConfig.tiny())
+
+
+class TestStaticData:
+    def test_deterministic(self, bench):
+        again = LSBench(LSBenchConfig.tiny())
+        assert bench.static_triples() == again.static_triples()
+
+    def test_every_user_has_type_follows_and_posts(self, bench):
+        triples = bench.static_triples()
+        by_pred = {}
+        for t in triples:
+            by_pred.setdefault(t.predicate, []).append(t)
+        users = {t.subject for t in by_pred["ty"] if t.object == "Person"}
+        assert len(users) == bench.config.num_users
+        followers = {t.subject for t in by_pred["fo"]}
+        assert followers == users
+        posters = {t.subject for t in by_pred["po"]}
+        assert posters == users
+
+    def test_nobody_follows_themselves(self, bench):
+        for t in bench.static_triples():
+            if t.predicate == "fo":
+                assert t.subject != t.object
+
+    def test_scale_configs_ordered(self):
+        tiny = len(LSBench(LSBenchConfig.tiny()).static_triples())
+        small = len(LSBench(LSBenchConfig.small()).static_triples())
+        assert tiny < small
+
+
+class TestStreams:
+    def test_deterministic(self, bench):
+        a = bench.generate_streams(2_000)
+        b = bench.generate_streams(2_000)
+        assert a == b
+
+    def test_all_five_streams_present(self, bench):
+        streams = bench.generate_streams(2_000)
+        assert set(streams) == set(PAPER_RATES)
+
+    def test_rates_scale(self, bench):
+        slow = bench.generate_streams(2_000, rate_scale=0.01)
+        fast = bench.generate_streams(2_000, rate_scale=0.04)
+        for name in PAPER_RATES:
+            assert len(fast[name]) > len(slow[name])
+
+    def test_relative_rates_match_paper(self, bench):
+        streams = bench.generate_streams(4_000)
+        # PO-L is the heaviest stream, as in Table 1.
+        assert len(streams["PO_L"]) == max(len(v) for v in streams.values())
+        ratio = len(streams["PO_L"]) / len(streams["PO"])
+        assert ratio == pytest.approx(8.6, rel=0.15)
+
+    def test_timestamps_ordered_per_stream(self, bench):
+        for tuples in bench.generate_streams(3_000).values():
+            stamps = [t.timestamp_ms for t in tuples]
+            assert stamps == sorted(stamps)
+
+    def test_gps_is_timing_only(self, bench):
+        schema = {s.name: s for s in bench.schemas()}["GPS"]
+        for tup in bench.generate_streams(2_000)["GPS"]:
+            assert schema.is_timing(tup.triple.predicate)
+
+    def test_likes_reference_existing_posts(self, bench):
+        streams = bench.generate_streams(3_000)
+        posts = {t.triple.object for t in streams["PO"]
+                 if t.triple.predicate == "po"}
+        initial = {f"Post_{i}_{k}"
+                   for i in range(bench.config.num_users)
+                   for k in range(bench.config.initial_posts_per_user)}
+        for like in streams["PO_L"]:
+            assert like.triple.object in posts | initial
+
+    def test_rate_overrides(self, bench):
+        streams = bench.generate_streams(
+            2_000, rates={"PO": 0.0, "PO_L": 0.0, "PH": 0.0, "PH_L": 0.0,
+                          "GPS": 1_000.0})
+        assert streams["PO"] == []
+        assert len(streams["GPS"]) > 0
+
+
+class TestQueries:
+    @pytest.mark.parametrize("name", list(QUERY_STREAMS))
+    def test_continuous_queries_parse(self, bench, name):
+        query = parse_query(bench.continuous_query(name))
+        assert query.is_continuous
+        assert set(query.windows) == set(QUERY_STREAMS[name])
+
+    @pytest.mark.parametrize("name", ["S1", "S2", "S3", "S4", "S5", "S6"])
+    def test_oneshot_queries_parse(self, bench, name):
+        query = parse_query(bench.oneshot_query(name))
+        assert not query.is_continuous
+
+    def test_group_partition(self):
+        assert set(GROUP_I) | set(GROUP_II) == set(QUERY_STREAMS)
+        assert not set(GROUP_I) & set(GROUP_II)
+
+    def test_group_i_starts_from_constant(self, bench):
+        from repro.sparql.planner import INDEX_START, plan_query
+        for name in GROUP_I:
+            plan = plan_query(parse_query(bench.continuous_query(name)))
+            assert plan.steps[0].kind != INDEX_START, name
+
+    def test_group_ii_starts_from_index(self, bench):
+        from repro.sparql.planner import INDEX_START, plan_query
+        for name in GROUP_II:
+            plan = plan_query(parse_query(bench.continuous_query(name)))
+            assert plan.steps[0].kind == INDEX_START, name
+
+    def test_start_user_varies_query(self, bench):
+        assert bench.continuous_query("L1", 0) != \
+            bench.continuous_query("L1", 5)
+
+    def test_window_overrides(self, bench):
+        query = parse_query(bench.continuous_query(
+            "L1", range_ms=5_000, step_ms=500))
+        assert query.windows["PO"].range_ms == 5_000
+        assert query.windows["PO"].step_ms == 500
+
+    def test_unknown_names_rejected(self, bench):
+        with pytest.raises(KeyError):
+            bench.continuous_query("L9")
+        with pytest.raises(KeyError):
+            bench.oneshot_query("S9")

@@ -1,0 +1,86 @@
+"""Tests for latency statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.metrics import cdf_points, geo_mean, mean, median, \
+    percentile
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_p0_is_min_p100_is_max(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_nearest_rank(self):
+        values = list(map(float, range(1, 101)))
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 50) == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_is_a_member(self, values, p):
+        assert percentile(values, p) in values
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_percentiles_monotone(self, values):
+        points = [percentile(values, p) for p in (10, 50, 90, 99)]
+        assert points == sorted(points)
+
+
+class TestGeoMean:
+    def test_known_value(self):
+        assert geo_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geo_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geo_mean([])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e4),
+                    min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geo_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e4),
+                    min_size=1, max_size=20))
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert geo_mean(values) <= mean(values) * (1 + 1e-9)
+
+
+class TestCdf:
+    def test_points_cover_unit_interval(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points[0] == (1.0, pytest.approx(1 / 3))
+        assert points[-1] == (3.0, pytest.approx(1.0))
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=40))
+    def test_cdf_is_monotone(self, values):
+        points = cdf_points(values)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert math.isclose(ys[-1], 1.0)

@@ -1,0 +1,73 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.plots import MARKERS, cdf_chart, line_chart
+
+
+def test_title_and_legend_present():
+    chart = line_chart({"L1": [(1, 1.0), (2, 2.0)],
+                        "L4": [(1, 3.0), (2, 1.5)]},
+                       title="Fig demo", x_label="nodes", y_label="ms")
+    assert "Fig demo" in chart
+    assert "* L1" in chart
+    assert "o L4" in chart
+    assert "[x: nodes; y: ms]" in chart
+
+
+def test_grid_dimensions():
+    chart = line_chart({"s": [(0, 0.0), (10, 5.0)]}, width=30, height=8)
+    body = [line for line in chart.splitlines() if "|" in line]
+    assert len(body) == 8
+    for line in body:
+        assert len(line.split("|", 1)[1]) == 30
+
+
+def test_markers_placed_at_extremes():
+    chart = line_chart({"s": [(0, 0.0), (10, 10.0)]}, width=20, height=5)
+    rows = [line.split("|", 1)[1] for line in chart.splitlines()
+            if "|" in line]
+    assert rows[0][-1] == "*"    # max x,y -> top right
+    assert rows[-1][0] == "*"    # min x,y -> bottom left
+
+
+def test_axis_ticks():
+    chart = line_chart({"s": [(2, 0.5), (8, 4.0)]})
+    assert "0.5" in chart
+    assert "4" in chart
+    assert chart.splitlines()[-2].strip().startswith("2")
+
+
+def test_log_scale():
+    linear = line_chart({"s": [(1, 1.0), (2, 10.0), (3, 100.0)]},
+                        height=11)
+    logged = line_chart({"s": [(1, 1.0), (2, 10.0), (3, 100.0)]},
+                        height=11, log_y=True)
+    # On a log axis the middle point sits mid-grid.
+    log_rows = [i for i, line in enumerate(logged.splitlines())
+                if "|" in line and "*" in line]
+    assert len(log_rows) == 3
+    spacing = [b - a for a, b in zip(log_rows, log_rows[1:])]
+    assert spacing[0] == spacing[1]  # equidistant on log axis
+
+
+def test_log_scale_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        line_chart({"s": [(1, 0.0), (2, 1.0)]}, log_y=True)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        line_chart({})
+
+
+def test_many_series_cycle_markers():
+    series = {f"s{i}": [(0, float(i)), (1, float(i))] for i in range(10)}
+    chart = line_chart(series)
+    assert MARKERS[0] in chart
+    assert MARKERS[-1] in chart
+
+
+def test_cdf_clamps_fractions():
+    chart = cdf_chart({"L1": [(0.1, 0.0), (0.2, 0.5), (0.3, 1.2)]})
+    assert "CDF" in chart

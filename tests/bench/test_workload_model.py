@@ -1,0 +1,40 @@
+"""Tests for the throughput model's mixture arithmetic."""
+
+import pytest
+
+from repro.bench.workload import MixedWorkloadResult
+
+
+def result_with(latencies):
+    return MixedWorkloadResult(
+        num_nodes=2, total_workers=32,
+        per_class_latencies_ms=latencies)
+
+
+def test_mixture_mean_is_reciprocal_weighted():
+    # Classes at 1ms and 3ms with p_i ~ 1/L_i: mean = 2 / (1/1 + 1/3) = 1.5
+    result = result_with({"A": [1.0, 1.0], "B": [3.0, 3.0]})
+    assert result.mixture_mean_latency_ms == pytest.approx(1.5)
+
+
+def test_throughput_is_workers_over_mean():
+    result = result_with({"A": [2.0]})
+    assert result.throughput_qps == pytest.approx(32 / 0.002)
+
+
+def test_empty_classes_ignored():
+    result = result_with({"A": [1.0], "B": []})
+    assert result.mixture_mean_latency_ms == pytest.approx(1.0)
+
+
+def test_percentiles_weight_fast_classes_heavier():
+    # The fast class contributes more executed queries; p50 leans to it.
+    result = result_with({"fast": [1.0] * 4, "slow": [9.0] * 4})
+    assert result.latency_percentile_ms(50) == 1.0
+    assert result.latency_percentile_ms(99) == 9.0
+
+
+def test_class_cdf_reaches_one():
+    result = result_with({"A": [1.0, 2.0, 3.0]})
+    cdf = result.class_cdf("A")
+    assert cdf[-1] == (3.0, pytest.approx(1.0))

@@ -1,0 +1,120 @@
+"""Tests for the client library, stored procedures and proxies."""
+
+import pytest
+
+from repro.client.library import ClientLibrary
+from repro.client.procedures import ProcedureCache
+from repro.client.proxy import ProxyPool
+
+from core.test_engine import QC, build_engine
+
+
+@pytest.fixture
+def engine():
+    eng = build_engine()
+    eng.run_until(4_000)
+    return eng
+
+
+class TestProcedureCache:
+    def test_parse_once(self):
+        cache = ProcedureCache()
+        first = cache.get("SELECT ?x WHERE { Logan po ?x }")
+        second = cache.get("SELECT ?x WHERE { Logan po ?x }")
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_constants_collected(self):
+        cache = ProcedureCache()
+        procedure = cache.get(
+            "SELECT ?x WHERE { Logan po ?x . ?x ht sosp17 }")
+        assert procedure.constants() == ["Logan", "sosp17"]
+
+    def test_continuous_detection(self):
+        cache = ProcedureCache()
+        assert cache.get(QC).is_continuous
+
+
+class TestClientLibrary:
+    def test_submit_decodes_strings(self, engine):
+        client = ClientLibrary(engine)
+        result = client.submit(
+            "SELECT ?x WHERE { Logan po ?x . ?x ht sosp17 }")
+        assert result.columns == ["?x"]
+        assert sorted(row[0] for row in result.rows) == ["T-13", "T-15"]
+
+    def test_client_latency_includes_round_trip(self, engine):
+        client = ClientLibrary(engine, include_network=True)
+        result = client.submit("SELECT ?x WHERE { Logan po ?x }")
+        assert result.client_latency_ms > result.server_latency_ms
+
+    def test_server_only_latency(self, engine):
+        client = ClientLibrary(engine, include_network=False)
+        result = client.submit("SELECT ?x WHERE { Logan po ?x }")
+        assert result.client_latency_ms == pytest.approx(
+            result.server_latency_ms)
+
+    def test_string_server_round_trips_batched(self, engine):
+        client = ClientLibrary(engine)
+        client.submit("SELECT ?x WHERE { Logan po ?x . ?x ht sosp17 }")
+        assert client.string_server_roundtrips == 1
+        # Same constants again: no new round trip.
+        client.submit("SELECT ?x WHERE { Logan po ?x . ?x ht sosp17 }")
+        assert client.string_server_roundtrips == 1
+        # A new constant costs one more.
+        client.submit("SELECT ?x WHERE { Erik po ?x }")
+        assert client.string_server_roundtrips == 2
+
+    def test_register_and_poll(self, engine):
+        client = ClientLibrary(engine)
+        subscription = client.register(QC)
+        engine.run_until(8_000)
+        results = subscription.poll()
+        assert results
+        latest = results[-1]
+        assert ("Logan", "Erik", "T-15") in latest.rows
+        # A second poll returns only new executions.
+        assert subscription.poll() == []
+        engine.run_until(9_000)
+        assert len(subscription.poll()) == 1
+
+    def test_submit_rejects_continuous(self, engine):
+        client = ClientLibrary(engine)
+        with pytest.raises(ValueError):
+            client.submit(QC)
+        with pytest.raises(ValueError):
+            client.register("SELECT ?x WHERE { Logan po ?x }")
+
+    def test_aggregate_values_pass_through(self, engine):
+        client = ClientLibrary(engine)
+        result = client.submit(
+            "SELECT ?u COUNT(?p) AS ?n WHERE { ?u po ?p } GROUP BY ?u")
+        counts = dict(result.rows)
+        assert counts["Logan"] >= 2
+        assert isinstance(counts["Logan"], int)
+
+
+class TestProxyPool:
+    def test_round_robin_balancing(self, engine):
+        pool = ProxyPool(engine, num_proxies=2)
+        for _ in range(6):
+            pool.submit("SELECT ?x WHERE { Logan po ?x }")
+        counts = pool.request_counts()
+        assert counts == {0: 3, 1: 3}
+        assert pool.total_requests == 6
+
+    def test_proxies_front_different_nodes(self, engine):
+        pool = ProxyPool(engine)
+        affinities = {proxy.affinity_node for proxy in pool.proxies}
+        assert affinities == set(range(engine.cluster.num_nodes))
+
+    def test_registration_through_proxy(self, engine):
+        pool = ProxyPool(engine, num_proxies=2)
+        subscription = pool.register(QC)
+        engine.run_until(8_000)
+        assert subscription.poll()
+
+    def test_bad_pool_size(self, engine):
+        with pytest.raises(ValueError):
+            ProxyPool(engine, num_proxies=0)

@@ -1,0 +1,54 @@
+"""Client-library coverage for the newer query surface."""
+
+import pytest
+
+from repro.client.library import ClientLibrary
+
+from core.test_engine import build_engine
+
+
+@pytest.fixture
+def engine():
+    eng = build_engine()
+    eng.run_until(4_000)
+    return eng
+
+
+def test_ask_through_client(engine):
+    client = ClientLibrary(engine)
+    result = client.submit("ASK WHERE { Logan fo Erik }")
+    assert result.rows == [()]
+    result = client.submit("ASK WHERE { Tony fo Erik }")
+    assert result.rows == []
+
+
+def test_optional_decode_maps_unbound_to_none(engine):
+    client = ClientLibrary(engine)
+    result = client.submit(
+        "SELECT ?P ?T WHERE { Logan po ?P . OPTIONAL { ?P ht ?T } }")
+    by_post = dict(result.rows)
+    assert by_post["T-13"] == "sosp17"
+    assert by_post["T-14"] is None
+
+
+def test_union_through_client(engine):
+    client = ClientLibrary(engine)
+    result = client.submit(
+        "SELECT ?P WHERE { { Logan po ?P } UNION { Logan li ?P } }")
+    assert {row[0] for row in result.rows} == \
+        {"T-13", "T-14", "T-15", "T-12"}
+
+
+def test_limit_through_client(engine):
+    client = ClientLibrary(engine)
+    result = client.submit("SELECT ?U ?P WHERE { ?U po ?P } LIMIT 2")
+    assert len(result.rows) == 2
+
+
+def test_prefixed_query_through_client(engine):
+    client = ClientLibrary(engine)
+    # Prefixes expand before constant resolution; unknown IRIs just yield
+    # empty results rather than failing.
+    result = client.submit(
+        "PREFIX sn: <http://social/> SELECT ?X WHERE { sn:Ghost po ?X }")
+    assert result.rows == []

@@ -1,0 +1,11 @@
+"""Shared pytest configuration.
+
+Puts the tests directory on ``sys.path`` so test modules can import shared
+helpers across subpackages (e.g. ``baselines.helpers``, ``core.test_engine``
+fixtures).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,144 @@
+"""End-to-end FILTER + aggregation through the full engine and baselines."""
+
+import pytest
+
+from repro.baselines.csparql_engine import CSparqlEngine
+from repro.baselines.spark import SparkStreamingEngine
+from repro.core.engine import EngineConfig, WukongSEngine
+from repro.rdf.parser import parse_timed_tuples, parse_triples
+from repro.sparql.parser import parse_query
+from repro.streams.source import StreamSource
+from repro.streams.stream import StreamSchema, batch_tuples
+
+STATIC = """
+s1 onRoad r1 .
+s2 onRoad r1 .
+s3 onRoad r2 .
+"""
+
+READINGS = """
+s1 temp 10 @1100
+s2 temp 20 @1200
+s3 temp 30 @1300
+s1 temp 40 @2100
+s2 temp 8 @2200
+"""
+
+AVG_QUERY = """
+REGISTER QUERY QAVG AS
+SELECT ?r AVG(?v) AS ?mean COUNT(?v) AS ?n
+FROM WT [RANGE 5s STEP 1s]
+FROM City
+WHERE {
+    GRAPH WT { ?s temp ?v }
+    GRAPH City { ?s onRoad ?r }
+}
+GROUP BY ?r
+"""
+
+HOT_QUERY = """
+REGISTER QUERY QHOT AS
+SELECT ?s ?v
+FROM WT [RANGE 5s STEP 1s]
+WHERE { GRAPH WT { ?s temp ?v . FILTER (?v >= 20) } }
+"""
+
+
+def build_engine(num_nodes=2):
+    engine = WukongSEngine(schemas=[StreamSchema("WT")],
+                          config=EngineConfig(num_nodes=num_nodes,
+                                              batch_interval_ms=1000))
+    engine.load_static(parse_triples(STATIC))
+    source = StreamSource(engine.schemas["WT"])
+    source.queue_tuples(parse_timed_tuples(READINGS), 0, 1000)
+    engine.attach_source(source)
+    return engine
+
+
+def name(engine, vid):
+    return engine.strings.entity_name(vid)
+
+
+class TestEngineAggregation:
+    def test_avg_per_road(self):
+        engine = build_engine()
+        handle = engine.register_continuous(AVG_QUERY)
+        engine.run_until(3000)
+        record = handle.executions[-1]
+        assert record.result.variables == ["?r", "?mean", "?n"]
+        by_road = {name(engine, row[0]): row[1:]
+                   for row in record.result.rows}
+        # r1: temps 10, 20, 40, 8 -> mean 19.5, n 4; r2: 30 -> mean 30.
+        assert by_road["r1"] == (19.5, 4)
+        assert by_road["r2"] == (30.0, 1)
+
+    def test_aggregates_follow_window(self):
+        engine = build_engine()
+        handle = engine.register_continuous(AVG_QUERY.replace(
+            "RANGE 5s", "RANGE 1s"))
+        engine.run_until(3000)
+        final = handle.executions[-1]  # window [2s,3s): 40 and 8 on r1
+        by_road = {name(engine, row[0]): row[1:] for row in final.result.rows}
+        assert by_road == {"r1": (24.0, 2)}
+
+    def test_filter_prunes_mid_exploration(self):
+        engine = build_engine()
+        handle = engine.register_continuous(HOT_QUERY)
+        engine.run_until(3000)
+        record = handle.executions[-1]
+        readings = {(name(engine, s), name(engine, v))
+                    for s, v in record.result.rows}
+        assert readings == {("s2", "20"), ("s3", "30"), ("s1", "40"),
+                            ("s2", "8")} - {("s2", "8")}
+        assert "filter" in record.meter.breakdown_ms
+
+    def test_oneshot_aggregation(self):
+        engine = build_engine()
+        engine.run_until(3000)
+        record = engine.oneshot(
+            "SELECT ?r COUNT(?s) AS ?n WHERE { ?s onRoad ?r } GROUP BY ?r")
+        by_road = {name(engine, row[0]): row[1] for row in record.result.rows}
+        assert by_road == {"r1": 2, "r2": 1}
+
+
+class TestBaselineAgreement:
+    def feed(self, engine):
+        engine.load_static(parse_triples(STATIC))
+        for batch in batch_tuples("WT", parse_timed_tuples(READINGS),
+                                  0, 1000):
+            engine.ingest(batch)
+        return engine
+
+    @pytest.mark.parametrize("engine_cls", [CSparqlEngine,
+                                            SparkStreamingEngine])
+    def test_aggregation_matches_wukongs(self, engine_cls):
+        integrated = build_engine()
+        handle = integrated.register_continuous(AVG_QUERY)
+        integrated.run_until(3000)
+        record = handle.executions[-1]
+        integrated_rows = {(name(integrated, row[0]),) + tuple(row[1:])
+                           for row in record.result.rows}
+
+        baseline = self.feed(engine_cls())
+        rows, _ = baseline.execute_continuous(parse_query(AVG_QUERY),
+                                              record.close_ms)
+        baseline_rows = {(baseline.strings.entity_name(row[0]),)
+                         + tuple(row[1:]) for row in rows}
+        assert baseline_rows == integrated_rows
+
+    @pytest.mark.parametrize("engine_cls", [CSparqlEngine,
+                                            SparkStreamingEngine])
+    def test_filter_matches_wukongs(self, engine_cls):
+        integrated = build_engine()
+        handle = integrated.register_continuous(HOT_QUERY)
+        integrated.run_until(3000)
+        record = handle.executions[-1]
+        integrated_rows = {tuple(name(integrated, v) for v in row)
+                           for row in record.result.rows}
+
+        baseline = self.feed(engine_cls())
+        rows, _ = baseline.execute_continuous(parse_query(HOT_QUERY),
+                                              record.close_ms)
+        baseline_rows = {tuple(baseline.strings.entity_name(v) for v in row)
+                         for row in rows}
+        assert baseline_rows == integrated_rows

@@ -1,0 +1,86 @@
+"""Edge cases of engine configuration and the simulation loop."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, WukongSEngine
+from repro.errors import StreamError
+from repro.rdf.parser import parse_timed_tuples, parse_triples
+from repro.streams.source import StreamSource
+from repro.streams.stream import StreamSchema
+
+from core.test_engine import build_engine
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.num_nodes == 1
+        assert config.plan_width == 1
+        assert config.keep_snapshots == 2
+        assert config.scalarization
+        assert not config.fault_tolerance
+
+    def test_engine_without_streams(self):
+        engine = WukongSEngine(schemas=[])
+        engine.load_static(parse_triples("a p b ."))
+        record = engine.oneshot("SELECT ?x WHERE { a p ?x }")
+        assert len(record.result.rows) == 1
+        # The loop runs even with no streams to pump.
+        engine.run_until(1_000)
+
+    def test_auto_pad_disabled_stalls_visibility(self):
+        engine = WukongSEngine(
+            schemas=[StreamSchema("S")],
+            config=EngineConfig(batch_interval_ms=1000,
+                                auto_pad_streams=False))
+        engine.load_static(parse_triples("a p b ."))
+        source = StreamSource(engine.schemas["S"])
+        source.queue_tuples(parse_timed_tuples("x q y @500"), 0, 1000)
+        engine.attach_source(source)
+        engine.run_until(5_000)
+        # Without padding the VTS stops at the delivered batch.
+        assert engine.coordinator.stable_vts().get("S") == 1
+
+    def test_auto_pad_keeps_vts_moving(self):
+        engine = WukongSEngine(
+            schemas=[StreamSchema("S")],
+            config=EngineConfig(batch_interval_ms=1000))
+        engine.attach_source(StreamSource(engine.schemas["S"]))
+        engine.run_until(5_000)
+        assert engine.coordinator.stable_vts().get("S") == 5
+
+    def test_gc_disabled(self):
+        engine = build_engine(gc_every_ticks=0)
+        engine.run_until(8_000)
+        assert engine.gc.stats.runs == 0
+
+    def test_step_returns_only_new_records(self):
+        engine = build_engine()
+        engine.register_continuous("""
+            REGISTER QUERY Q AS SELECT ?U ?T
+            FROM Tweet_Stream [RANGE 2s STEP 1s]
+            WHERE { GRAPH Tweet_Stream { ?U po ?T } }
+        """)
+        first = engine.step()
+        second = engine.step()
+        closes = [r.close_ms for r in first + second]
+        assert closes == sorted(set(closes))
+
+    def test_run_until_is_idempotent_at_target(self):
+        engine = build_engine()
+        engine.run_until(3_000)
+        assert engine.run_until(3_000) == []
+        assert engine.clock.now_ms == 3_000
+
+
+class TestSourceIntegration:
+    def test_two_sources_same_stream_rejected(self):
+        engine = build_engine()
+        replacement = StreamSource(engine.schemas["Tweet_Stream"])
+        engine.attach_source(replacement)  # re-attach is allowed (replace)
+        assert engine.sources["Tweet_Stream"] is replacement
+
+    def test_unknown_stream_source_rejected(self):
+        engine = build_engine()
+        with pytest.raises(StreamError):
+            engine.attach_source(StreamSource(StreamSchema("nope")))

@@ -1,0 +1,77 @@
+"""Property tests for the injector's lock-free key-space partitioning."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.injector import Injector
+from repro.core.transient import TransientStore
+from repro.rdf.terms import EncodedTriple, EncodedTuple
+from repro.rdf.string_server import StringServer
+from repro.sim.cluster import Cluster
+from repro.store.distributed import DistributedStore
+
+
+def make_injector(threads):
+    cluster = Cluster(num_nodes=1)
+    strings = StringServer()
+    store = DistributedStore(cluster, strings)
+    return Injector(0, store, {"S": TransientStore("S")}, threads=threads)
+
+
+tuples_strategy = st.lists(
+    st.tuples(st.integers(1, 40), st.integers(1, 5), st.integers(1, 40)),
+    max_size=60,
+).map(lambda raw: [EncodedTuple(EncodedTriple(s, p, o), i)
+                   for i, (s, p, o) in enumerate(raw)])
+
+
+@settings(max_examples=50, deadline=None)
+@given(tuples=tuples_strategy, threads=st.sampled_from([1, 2, 3, 4, 8]))
+def test_partitioning_is_a_partition(tuples, threads):
+    """Every tuple lands in exactly one partition."""
+    injector = make_injector(threads)
+    parts = injector._partition(tuples, by_subject=True)
+    assert len(parts) == (1 if threads == 1 else threads)
+    flattened = [t for part in parts for t in part]
+    assert sorted(flattened, key=id) == sorted(tuples, key=id)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tuples=tuples_strategy, threads=st.sampled_from([2, 4, 8]))
+def test_same_key_same_partition(tuples, threads):
+    """All tuples touching one key go to one thread (the lock-free
+    guarantee) and keep their arrival order within it."""
+    injector = make_injector(threads)
+    parts = injector._partition(tuples, by_subject=True)
+    owner = {}
+    for index, part in enumerate(parts):
+        for tup in part:
+            key = tup.triple.s
+            assert owner.setdefault(key, index) == index
+    for part in parts:
+        stamps = [t.timestamp_ms for t in part if True]
+        # Arrival order within each partition is preserved.
+        per_key = {}
+        for t in part:
+            per_key.setdefault(t.triple.s, []).append(t.timestamp_ms)
+        for series in per_key.values():
+            assert series == sorted(series)
+
+
+@settings(max_examples=20, deadline=None)
+@given(tuples=tuples_strategy)
+def test_partitioning_avoids_cluster_aliasing(tuples):
+    """With threads == num_nodes, partitioning must still spread keys.
+
+    (Regression: `vid % threads` aliased the cluster's `vid % num_nodes`
+    placement, collapsing every local key into partition 0.)
+    """
+    cluster = Cluster(num_nodes=4)
+    strings = StringServer()
+    store = DistributedStore(cluster, strings)
+    injector = Injector(0, store, {"S": TransientStore("S")}, threads=4)
+    # Only node-0 keys, as the dispatcher would deliver them.
+    local = [t for t in tuples if t.triple.s % 4 == 0]
+    if len({t.triple.s for t in local}) < 4:
+        return
+    parts = injector._partition(local, by_subject=True)
+    assert sum(1 for p in parts if p) >= 2

@@ -1,0 +1,85 @@
+"""Tests for the SN <-> VTS plan (bounded snapshot scalarization)."""
+
+import pytest
+
+from repro.core.snapshot import SNVTSPlan
+from repro.errors import ConsistencyError
+
+
+def test_paper_fig11_example():
+    plan = SNVTSPlan(["S0", "S1"])
+    plan.publish({"S0": 3, "S1": 9})    # SN 2 in the figure (our SN 1)
+    plan.publish({"S0": 5, "S1": 12})   # SN 3 in the figure (our SN 2)
+    assert plan.sn_for("S0", 3) == 1
+    assert plan.sn_for("S0", 4) == 2
+    assert plan.sn_for("S0", 5) == 2
+    assert plan.sn_for("S1", 10) == 2
+    assert plan.sn_for("S0", 6) is None  # beyond the plan: injector stalls
+
+
+def test_publish_returns_increasing_sns():
+    plan = SNVTSPlan(["S"])
+    assert plan.publish({"S": 2}) == 1
+    assert plan.publish({"S": 4}) == 2
+    assert plan.latest_sn == 2
+
+
+def test_mapping_must_cover_all_streams():
+    plan = SNVTSPlan(["S0", "S1"])
+    with pytest.raises(ConsistencyError):
+        plan.publish({"S0": 1})
+
+
+def test_mapping_must_be_monotonic():
+    plan = SNVTSPlan(["S"])
+    plan.publish({"S": 5})
+    with pytest.raises(ConsistencyError):
+        plan.publish({"S": 4})
+
+
+def test_equal_upper_allowed_for_idle_stream():
+    plan = SNVTSPlan(["S0", "S1"])
+    plan.publish({"S0": 2, "S1": 2})
+    plan.publish({"S0": 4, "S1": 2})  # S1 idle
+    assert plan.sn_for("S0", 3) == 2
+    assert plan.sn_for("S1", 3) is None
+
+
+def test_requirement_for():
+    plan = SNVTSPlan(["S0", "S1"])
+    plan.publish({"S0": 3, "S1": 9})
+    assert plan.requirement_for(1) == {"S0": 3, "S1": 9}
+    with pytest.raises(ConsistencyError):
+        plan.requirement_for(2)
+
+
+def test_bad_lookups_rejected():
+    plan = SNVTSPlan(["S"])
+    plan.publish({"S": 2})
+    with pytest.raises(ConsistencyError):
+        plan.sn_for("other", 1)
+    with pytest.raises(ConsistencyError):
+        plan.sn_for("S", 0)
+
+
+def test_dynamic_stream_addition():
+    plan = SNVTSPlan(["S0"])
+    plan.publish({"S0": 2})
+    plan.add_stream("S1")
+    # Existing mappings implicitly cover batch 0 of the new stream.
+    assert plan.requirement_for(1) == {"S0": 2, "S1": 0}
+    plan.publish({"S0": 4, "S1": 2})
+    assert plan.sn_for("S1", 1) == 2
+    with pytest.raises(ConsistencyError):
+        plan.add_stream("S1")
+
+
+def test_sn_assignment_is_monotone_in_batch_no():
+    plan = SNVTSPlan(["S"])
+    for upper in (2, 5, 9):
+        plan.publish({"S": upper})
+    previous = 0
+    for batch in range(1, 10):
+        sn = plan.sn_for("S", batch)
+        assert sn is not None and sn >= previous
+        previous = sn

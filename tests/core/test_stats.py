@@ -1,0 +1,61 @@
+"""Tests for the engine stats snapshot."""
+
+from repro.core.stats import collect_stats
+
+from core.test_engine import QC, build_engine
+
+
+def snapshot():
+    engine = build_engine()
+    engine.register_continuous(QC)
+    engine.run_until(6_000)
+    return engine, collect_stats(engine)
+
+
+def test_snapshot_covers_all_subsystems():
+    engine, stats = snapshot()
+    assert stats.clock_ms == 6_000
+    assert stats.num_nodes == 2
+    assert stats.stable_sn > 0
+    assert stats.store_entries > 0
+    assert stats.tuples_injected > 0
+    assert stats.mean_injection_ms > 0
+    assert {s.name for s in stats.streams} == {"Tweet_Stream",
+                                               "Like_Stream"}
+
+
+def test_stream_stats_track_delivery_and_retention():
+    engine, stats = snapshot()
+    tweet = next(s for s in stats.streams if s.name == "Tweet_Stream")
+    assert tweet.batches_delivered == 6
+    assert tweet.index_slices > 0
+    assert tweet.transient_slices > 0  # 'ga' timing data
+    assert tweet.index_replicas >= 1
+    assert tweet.raw_bytes > 0
+
+
+def test_query_stats_track_executions():
+    engine, stats = snapshot()
+    qc = next(q for q in stats.queries if q.name == "QC")
+    assert qc.executions == 6
+    assert qc.median_ms is not None and qc.median_ms > 0
+    assert qc.p99_ms >= qc.median_ms
+    assert qc.home_node in (0, 1)
+
+
+def test_format_renders_dashboard():
+    engine, stats = snapshot()
+    text = stats.format()
+    assert "engine @ t=6.0s" in text
+    assert "stream Tweet_Stream" in text
+    assert "query QC" in text
+    assert "p50" in text
+
+
+def test_fresh_engine_stats():
+    engine = build_engine()
+    stats = collect_stats(engine)
+    assert stats.tuples_injected == 0
+    assert stats.mean_injection_ms == 0.0
+    assert stats.queries == []
+    assert "no executions" not in stats.format()

@@ -1,0 +1,138 @@
+"""Tests for the stream index and its replication registry."""
+
+import pytest
+
+from repro.core.stream_index import IndexSlice, StreamIndex, \
+    StreamIndexRegistry
+from repro.errors import StoreError, StreamError
+from repro.rdf.ids import DIR_OUT, make_key
+from repro.sim.cost import LatencyMeter
+from repro.store.kvstore import ValueSpan
+
+KEY = make_key(7, 3, DIR_OUT)
+OTHER = make_key(8, 3, DIR_OUT)
+
+
+def make_slice(batch_no, spans):
+    piece = IndexSlice(batch_no)
+    for owner, span in spans:
+        piece.add_span(owner, span)
+    return piece
+
+
+class TestIndexSlice:
+    def test_contiguous_spans_coalesce(self):
+        piece = IndexSlice(1)
+        piece.add_span(0, ValueSpan(KEY, 4, 1))
+        piece.add_span(0, ValueSpan(KEY, 5, 1))
+        piece.add_span(0, ValueSpan(KEY, 6, 1))
+        assert piece.entries[KEY] == [(0, ValueSpan(KEY, 4, 3))]
+
+    def test_non_contiguous_spans_stay_separate(self):
+        piece = IndexSlice(1)
+        piece.add_span(0, ValueSpan(KEY, 4, 1))
+        piece.add_span(0, ValueSpan(KEY, 9, 1))
+        assert len(piece.entries[KEY]) == 2
+
+    def test_different_owners_stay_separate(self):
+        piece = IndexSlice(1)
+        piece.add_span(0, ValueSpan(KEY, 4, 1))
+        piece.add_span(1, ValueSpan(KEY, 5, 1))
+        assert len(piece.entries[KEY]) == 2
+
+    def test_vertices_tracked_per_predicate(self):
+        piece = make_slice(1, [(0, ValueSpan(KEY, 0, 1)),
+                               (0, ValueSpan(OTHER, 0, 1))])
+        assert piece.vertices[(3, DIR_OUT)] == {7, 8}
+
+
+class TestStreamIndex:
+    def build(self):
+        index = StreamIndex("Like_Stream")
+        index.append_slice(make_slice(1, [(0, ValueSpan(KEY, 0, 3))]))
+        index.append_slice(make_slice(2, [(0, ValueSpan(KEY, 3, 2)),
+                                          (1, ValueSpan(OTHER, 0, 1))]))
+        index.append_slice(make_slice(3, [(0, ValueSpan(KEY, 5, 1))]))
+        return index
+
+    def test_lookup_spans_by_batch_range(self):
+        index = self.build()
+        spans = index.lookup_spans(KEY, 2, 3)
+        assert [s for _, s in spans] == [ValueSpan(KEY, 3, 2),
+                                         ValueSpan(KEY, 5, 1)]
+        assert index.lookup_spans(KEY, 4, 9) == []
+
+    def test_vertices_by_batch_range(self):
+        index = self.build()
+        assert index.vertices(3, DIR_OUT, 1, 1) == [7]
+        assert set(index.vertices(3, DIR_OUT, 1, 3)) == {7, 8}
+
+    def test_append_out_of_order_rejected(self):
+        index = self.build()
+        with pytest.raises(StoreError):
+            index.append_slice(make_slice(2, []))
+
+    def test_collect_removes_early_slices(self):
+        index = self.build()
+        assert index.collect(3) == 2
+        assert index.num_slices == 1
+        assert index.earliest_batch == 3
+        assert index.lookup_spans(KEY, 1, 3) == [(0, ValueSpan(KEY, 5, 1))]
+
+    def test_memory_accounting(self):
+        index = self.build()
+        before = index.memory_bytes()
+        assert before > 0
+        index.collect(4)
+        assert index.memory_bytes() == 0
+
+
+class TestRegistry:
+    def test_replication_follows_interest(self):
+        registry = StreamIndexRegistry()
+        registry.create_stream("S")
+        assert registry.replicas("S") == set()
+        registry.add_interest("S", 2)
+        registry.add_interest("S", 2)
+        registry.add_interest("S", 5)
+        assert registry.replicas("S") == {2, 5}
+        assert registry.is_local("S", 2)
+        assert not registry.is_local("S", 0)
+
+    def test_replica_dropped_when_last_query_leaves(self):
+        registry = StreamIndexRegistry()
+        registry.create_stream("S")
+        registry.add_interest("S", 1)
+        registry.add_interest("S", 1)
+        registry.drop_interest("S", 1)
+        assert registry.is_local("S", 1)
+        registry.drop_interest("S", 1)
+        assert not registry.is_local("S", 1)
+
+    def test_drop_without_interest_rejected(self):
+        registry = StreamIndexRegistry()
+        registry.create_stream("S")
+        with pytest.raises(StreamError):
+            registry.drop_interest("S", 0)
+
+    def test_duplicate_stream_rejected(self):
+        registry = StreamIndexRegistry()
+        registry.create_stream("S")
+        with pytest.raises(StreamError):
+            registry.create_stream("S")
+
+    def test_unknown_stream_rejected(self):
+        registry = StreamIndexRegistry()
+        with pytest.raises(StreamError):
+            registry.index("nope")
+        with pytest.raises(StreamError):
+            registry.add_interest("nope", 0)
+
+    def test_memory_scales_with_replicas(self):
+        registry = StreamIndexRegistry()
+        index = registry.create_stream("S")
+        index.append_slice(make_slice(1, [(0, ValueSpan(KEY, 0, 4))]))
+        one = registry.memory_bytes("S")
+        registry.add_interest("S", 0)
+        registry.add_interest("S", 1)
+        assert registry.memory_bytes("S") == 2 * one

@@ -1,0 +1,83 @@
+"""Tests for time-scoped one-shot queries (the footnote-10 extension)."""
+
+import pytest
+
+from repro.errors import StoreError, StreamError
+
+from core.test_engine import build_engine, names
+
+TIME_QUERY = """
+SELECT ?U ?T
+FROM Tweet_Stream [RANGE 1s STEP 1s]
+WHERE { GRAPH Tweet_Stream { ?U po ?T } }
+"""
+
+JOINED_QUERY = """
+SELECT ?U ?F ?T
+FROM Tweet_Stream [RANGE 1s STEP 1s]
+FROM X-Lab
+WHERE {
+    GRAPH Tweet_Stream { ?U po ?T }
+    GRAPH X-Lab { ?U fo ?F }
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    # Disable periodic GC so history stays queryable in most tests.
+    eng = build_engine(gc_every_ticks=0)
+    eng.run_until(10_000)
+    return eng
+
+
+def test_scope_selects_historical_interval(engine):
+    # Tweets: T-15 @2200, T-16 @5100, T-17 @8100.
+    early = engine.oneshot_time_scoped(TIME_QUERY, 2_000, 3_000)
+    assert names(engine, early.result.rows) == [("Logan", "T-15")]
+    middle = engine.oneshot_time_scoped(TIME_QUERY, 5_000, 6_000)
+    assert names(engine, middle.result.rows) == [("Erik", "T-16")]
+    everything = engine.oneshot_time_scoped(TIME_QUERY, 0, 10_000)
+    assert len(everything.result.rows) == 3
+
+
+def test_scope_boundaries_are_batch_aligned(engine):
+    # [2000, 9000) covers T-15, T-16 and T-17 (batches 3..9).
+    record = engine.oneshot_time_scoped(TIME_QUERY, 2_000, 9_000)
+    assert len(record.result.rows) == 3
+    # [3000, 8000) excludes T-15 (batch 3) and T-17 (batch 9).
+    record = engine.oneshot_time_scoped(TIME_QUERY, 3_000, 8_000)
+    assert names(engine, record.result.rows) == [("Erik", "T-16")]
+
+
+def test_joins_with_stored_data(engine):
+    record = engine.oneshot_time_scoped(JOINED_QUERY, 2_000, 3_000)
+    assert names(engine, record.result.rows) == [("Logan", "Erik", "T-15")]
+
+
+def test_empty_scope_rejected(engine):
+    with pytest.raises(StoreError):
+        engine.oneshot_time_scoped(TIME_QUERY, 3_000, 3_000)
+
+
+def test_pure_stored_query_rejected(engine):
+    with pytest.raises(StoreError):
+        engine.oneshot_time_scoped("SELECT ?x WHERE { Logan po ?x }",
+                                   0, 1_000)
+
+
+def test_unknown_stream_rejected(engine):
+    with pytest.raises(StreamError):
+        engine.oneshot_time_scoped(
+            "SELECT ?x FROM Ghost [RANGE 1s STEP 1s] WHERE "
+            "{ GRAPH Ghost { ?x p o } }", 0, 1_000)
+
+
+def test_collected_history_raises():
+    engine = build_engine(gc_every_ticks=1, gc_retention_ms=2_000)
+    engine.run_until(10_000)
+    with pytest.raises(StoreError):
+        engine.oneshot_time_scoped(TIME_QUERY, 1_000, 3_000)
+    # Recent history is still there.
+    record = engine.oneshot_time_scoped(TIME_QUERY, 8_000, 10_000)
+    assert names(engine, record.result.rows) == [("Logan", "T-17")]

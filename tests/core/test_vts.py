@@ -1,0 +1,108 @@
+"""Tests for vector timestamps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.vts import VectorTimestamp
+from repro.errors import ConsistencyError
+
+
+def test_starts_at_zero():
+    vts = VectorTimestamp(["S0", "S1"])
+    assert vts.get("S0") == 0
+    assert vts.as_dict() == {"S0": 0, "S1": 0}
+
+
+def test_updates_must_be_in_order():
+    vts = VectorTimestamp(["S0"])
+    vts.update("S0", 1)
+    vts.update("S0", 2)
+    with pytest.raises(ConsistencyError):
+        vts.update("S0", 2)
+    with pytest.raises(ConsistencyError):
+        vts.update("S0", 4)
+
+
+def test_unknown_stream_rejected():
+    vts = VectorTimestamp(["S0"])
+    with pytest.raises(ConsistencyError):
+        vts.update("S9", 1)
+    with pytest.raises(ConsistencyError):
+        vts.get("S9")
+
+
+def test_stable_is_elementwise_min():
+    a = VectorTimestamp(["S0", "S1"])
+    b = VectorTimestamp(["S0", "S1"])
+    for k in range(1, 6):
+        a.update("S0", k)
+    for k in range(1, 4):
+        b.update("S0", k)
+        b.update("S1", k)
+    stable = VectorTimestamp.stable([a, b])
+    assert stable.as_dict() == {"S0": 3, "S1": 0}
+
+
+def test_stable_requires_same_streams():
+    a = VectorTimestamp(["S0"])
+    b = VectorTimestamp(["S1"])
+    with pytest.raises(ConsistencyError):
+        VectorTimestamp.stable([a, b])
+
+
+def test_covers():
+    vts = VectorTimestamp(["S0", "S1"])
+    vts.update("S0", 1)
+    assert vts.covers({"S0": 1})
+    assert vts.covers({"S0": 0, "S1": 0})
+    assert not vts.covers({"S0": 2})
+    assert not vts.covers({"S1": 1})
+    assert vts.covers({})
+
+
+def test_covers_unknown_stream_means_not_covered():
+    vts = VectorTimestamp(["S0"])
+    assert not vts.covers({"S9": 1})
+
+
+def test_add_stream_dynamic():
+    vts = VectorTimestamp(["S0"])
+    vts.add_stream("S1")
+    assert vts.get("S1") == 0
+    with pytest.raises(ConsistencyError):
+        vts.add_stream("S1")
+
+
+def test_copy_is_independent():
+    vts = VectorTimestamp(["S0"])
+    clone = vts.copy()
+    vts.update("S0", 1)
+    assert clone.get("S0") == 0
+
+
+def test_equality():
+    a = VectorTimestamp(["S0"])
+    b = VectorTimestamp(["S0"])
+    assert a == b
+    a.update("S0", 1)
+    assert a != b
+
+
+@given(st.lists(st.lists(st.integers(0, 10), min_size=2, max_size=2),
+                min_size=1, max_size=6))
+def test_stable_never_exceeds_any_local(counts):
+    """The stable vector is a lower bound of every local vector."""
+    locals_ = []
+    for pair in counts:
+        vts = VectorTimestamp(["S0", "S1"])
+        for name, value in zip(["S0", "S1"], pair):
+            for k in range(1, value + 1):
+                vts.update(name, k)
+        locals_.append(vts)
+    stable = VectorTimestamp.stable(locals_)
+    for vts in locals_:
+        for stream in ("S0", "S1"):
+            assert stable.get(stream) <= vts.get(stream)
+    # And it is attained: for each stream, some node sits exactly there.
+    for stream in ("S0", "S1"):
+        assert any(vts.get(stream) == stable.get(stream) for vts in locals_)

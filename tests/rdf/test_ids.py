@@ -1,0 +1,57 @@
+"""Tests for key packing/unpacking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StoreError
+from repro.rdf.ids import (DIR_IN, DIR_OUT, INDEX_VID, MAX_EID, MAX_VID,
+                           index_key, key_vid, make_key, split_key)
+
+
+def test_roundtrip_simple():
+    key = make_key(7, 4, DIR_OUT)
+    assert split_key(key) == (7, 4, DIR_OUT)
+
+
+def test_paper_fig6_keys_are_distinct():
+    # [1|4|1] (Logan's po out-edges) vs [0|4|0] (po index, in direction).
+    logan_posts = make_key(1, 4, DIR_OUT)
+    po_index = index_key(4, DIR_IN)
+    assert logan_posts != po_index
+    assert split_key(po_index) == (INDEX_VID, 4, DIR_IN)
+
+
+def test_key_vid_extraction():
+    assert key_vid(make_key(12345, 6, DIR_IN)) == 12345
+
+
+def test_bounds_enforced():
+    with pytest.raises(StoreError):
+        make_key(MAX_VID + 1, 0, DIR_IN)
+    with pytest.raises(StoreError):
+        make_key(0, MAX_EID + 1, DIR_IN)
+    with pytest.raises(StoreError):
+        make_key(0, 0, 2)
+    with pytest.raises(StoreError):
+        make_key(-1, 0, DIR_IN)
+
+
+def test_extremes_roundtrip():
+    key = make_key(MAX_VID, MAX_EID, DIR_OUT)
+    assert split_key(key) == (MAX_VID, MAX_EID, DIR_OUT)
+
+
+@given(vid=st.integers(min_value=0, max_value=MAX_VID),
+       eid=st.integers(min_value=0, max_value=MAX_EID),
+       d=st.sampled_from([DIR_IN, DIR_OUT]))
+def test_roundtrip_property(vid, eid, d):
+    assert split_key(make_key(vid, eid, d)) == (vid, eid, d)
+
+
+@given(a=st.tuples(st.integers(0, MAX_VID), st.integers(0, MAX_EID),
+                   st.sampled_from([DIR_IN, DIR_OUT])),
+       b=st.tuples(st.integers(0, MAX_VID), st.integers(0, MAX_EID),
+                   st.sampled_from([DIR_IN, DIR_OUT])))
+def test_packing_is_injective(a, b):
+    if a != b:
+        assert make_key(*a) != make_key(*b)

@@ -1,0 +1,41 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now_ms == 0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(start_ms=800).now_ms == 800
+
+
+def test_advance_moves_forward():
+    clock = VirtualClock()
+    assert clock.advance(100) == 100
+    assert clock.advance(50) == 150
+    assert clock.now_ms == 150
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(start_ms=-5)
+
+
+def test_advance_to_moves_forward_only():
+    clock = VirtualClock(start_ms=100)
+    assert clock.advance_to(300) == 300
+    assert clock.advance_to(200) == 300  # no-op when already past
+
+
+def test_advance_zero_is_noop():
+    clock = VirtualClock(start_ms=7)
+    assert clock.advance(0) == 7

@@ -1,0 +1,94 @@
+"""Tests for the cost model and latency meter."""
+
+import pytest
+
+from repro.sim.cost import CostModel, LatencyMeter, MemoryModel
+
+
+class TestCostModel:
+    def test_rdma_read_cost_includes_bytes(self):
+        cost = CostModel(rdma_read_ns=1000.0, rdma_byte_ns=0.5)
+        assert cost.rdma_read_cost(100) == 1000.0 + 50.0
+
+    def test_tcp_cost_includes_bytes(self):
+        cost = CostModel(tcp_rtt_ns=50_000.0, tcp_byte_ns=1.0)
+        assert cost.tcp_cost(200) == 50_200.0
+
+    def test_negative_bytes_clamped(self):
+        cost = CostModel()
+        assert cost.rdma_read_cost(-10) == cost.rdma_read_ns
+        assert cost.tcp_cost(-10) == cost.tcp_rtt_ns
+
+    def test_rdma_is_cheaper_than_tcp_by_default(self):
+        cost = CostModel()
+        assert cost.rdma_read_cost(1024) < cost.tcp_cost(1024)
+
+
+class TestLatencyMeter:
+    def test_starts_empty(self):
+        meter = LatencyMeter()
+        assert meter.ns == 0.0
+        assert meter.ms == 0.0
+
+    def test_charge_accumulates(self):
+        meter = LatencyMeter()
+        meter.charge(500)
+        meter.charge(250, times=2)
+        assert meter.ns == 1000.0
+        assert meter.us == 1.0
+
+    def test_charge_rejects_negative(self):
+        meter = LatencyMeter()
+        with pytest.raises(ValueError):
+            meter.charge(-1)
+        with pytest.raises(ValueError):
+            meter.charge(1, times=-1)
+
+    def test_category_breakdown(self):
+        meter = LatencyMeter()
+        meter.charge(1_000_000, category="store")
+        meter.charge(2_000_000, category="network")
+        meter.charge(500_000, category="store")
+        breakdown = meter.breakdown_ms
+        assert breakdown["store"] == pytest.approx(1.5)
+        assert breakdown["network"] == pytest.approx(2.0)
+
+    def test_add_is_sequential(self):
+        a, b = LatencyMeter(), LatencyMeter()
+        a.charge(100, category="x")
+        b.charge(200, category="x")
+        a.add(b)
+        assert a.ns == 300.0
+        assert a.breakdown_ms["x"] == pytest.approx(300 / 1e6)
+
+    def test_join_parallel_takes_max(self):
+        meter = LatencyMeter()
+        meter.charge(500)
+        fast, slow = meter.spawn(), meter.spawn()
+        fast.charge(1_000)
+        slow.charge(3_000)
+        meter.join_parallel([fast, slow])
+        assert meter.ns == 3_500.0
+
+    def test_join_parallel_merges_slowest_breakdown(self):
+        meter = LatencyMeter()
+        fast, slow = meter.spawn(), meter.spawn()
+        fast.charge(1, category="fast-work")
+        slow.charge(100, category="slow-work")
+        meter.join_parallel([fast, slow])
+        assert "slow-work" in meter.breakdown_ms
+        assert "fast-work" not in meter.breakdown_ms
+
+    def test_join_parallel_empty_is_noop(self):
+        meter = LatencyMeter()
+        meter.charge(10)
+        meter.join_parallel([])
+        assert meter.ns == 10.0
+
+
+class TestMemoryModel:
+    def test_defaults_are_positive(self):
+        model = MemoryModel()
+        assert model.entry_bytes > 0
+        assert model.fat_pointer_bytes > 0
+        assert model.tuple_bytes > model.entry_bytes

@@ -1,0 +1,99 @@
+"""Tests for ASK queries and LIMIT/OFFSET."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sparql.parser import parse_query
+
+from core.test_engine import build_engine
+
+
+class TestParsing:
+    def test_ask_parses(self):
+        query = parse_query("ASK WHERE { Logan po ?X }")
+        assert query.is_ask
+        assert not query.select
+
+    def test_limit_offset(self):
+        query = parse_query(
+            "SELECT ?X WHERE { ?U po ?X } LIMIT 10 OFFSET 5")
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_limit_alone(self):
+        query = parse_query("SELECT ?X WHERE { ?U po ?X } LIMIT 3")
+        assert query.limit == 3
+        assert query.offset == 0
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?X WHERE { ?U po ?X } LIMIT many")
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?X WHERE { ?U po ?X } LIMIT -1")
+
+    def test_group_by_then_limit(self):
+        query = parse_query(
+            "SELECT ?U COUNT(?P) AS ?n WHERE { ?U po ?P } "
+            "GROUP BY ?U LIMIT 2")
+        assert query.limit == 2
+        assert query.aggregates
+
+
+class TestExecution:
+    @pytest.fixture
+    def engine(self):
+        eng = build_engine()
+        eng.run_until(4_000)
+        return eng
+
+    def test_ask_true_false(self, engine):
+        yes = engine.oneshot("ASK WHERE { Logan po ?X }")
+        assert yes.result.as_bool()
+        no = engine.oneshot("ASK WHERE { Nobody po ?X }")
+        assert not no.result.as_bool()
+
+    def test_ask_constant_only(self, engine):
+        yes = engine.oneshot("ASK WHERE { Logan fo Erik }")
+        assert yes.result.as_bool()
+        no = engine.oneshot("ASK WHERE { Erik fo Tony }")
+        assert not no.result.as_bool()
+
+    def test_limit_truncates(self, engine):
+        full = engine.oneshot("SELECT ?U ?P WHERE { ?U po ?P }")
+        limited = engine.oneshot(
+            "SELECT ?U ?P WHERE { ?U po ?P } LIMIT 2")
+        assert len(limited.result.rows) == 2
+        assert limited.result.rows == full.result.rows[:2]
+
+    def test_offset_skips(self, engine):
+        full = engine.oneshot("SELECT ?U ?P WHERE { ?U po ?P }")
+        sliced = engine.oneshot(
+            "SELECT ?U ?P WHERE { ?U po ?P } LIMIT 2 OFFSET 1")
+        assert sliced.result.rows == full.result.rows[1:3]
+
+    def test_limit_on_aggregates(self, engine):
+        record = engine.oneshot(
+            "SELECT ?U COUNT(?P) AS ?n WHERE { ?U po ?P } "
+            "GROUP BY ?U LIMIT 1")
+        assert len(record.result.rows) == 1
+
+    def test_baselines_honor_ask_and_limit(self, engine):
+        from repro.baselines.csparql_engine import CSparqlEngine
+        from repro.rdf.parser import parse_triples
+        from core.test_engine import XLAB
+
+        baseline = CSparqlEngine()
+        baseline.load_static(parse_triples(XLAB))
+        rows, _ = baseline.execute_oneshot(
+            parse_query("SELECT ?X WHERE { Logan po ?X }"))
+        assert len(rows) == 2
+
+        from repro.baselines.spark import SparkStreamingEngine
+        spark = SparkStreamingEngine()
+        spark.load_static(parse_triples(XLAB))
+        limited, _ = spark.execute_oneshot(
+            parse_query("SELECT ?X WHERE { Logan po ?X } LIMIT 1"))
+        assert len(limited) == 1
+        asked, _ = spark.execute_oneshot(
+            parse_query("ASK WHERE { Logan po ?X }"))
+        assert asked == [()]

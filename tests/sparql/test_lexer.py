@@ -1,0 +1,83 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sparql.lexer import Token, TokenCursor, tokenize
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)]
+
+
+class TestTokenize:
+    def test_basic_stream(self):
+        assert texts("SELECT ?X { ?X po T-13 . }") == \
+            ["SELECT", "?X", "{", "?X", "po", "T-13", ".", "}"]
+
+    def test_iri_delimiters_stripped(self):
+        assert texts("<http://a/b> p <c>") == ["http://a/b", "p", "c"]
+
+    def test_string_literal(self):
+        assert texts('?x body "hello world"') == ["?x", "body",
+                                                  "hello world"]
+
+    def test_comments_stripped(self):
+        assert texts("a p b # trailing comment\nc q d") == \
+            ["a", "p", "b", "c", "q", "d"]
+
+    def test_comparison_operators(self):
+        assert texts("FILTER ( ?x <= 5 )") == \
+            ["FILTER", "(", "?x", "<=", "5", ")"]
+        assert texts("?a != ?b") == ["?a", "!=", "?b"]
+        assert texts("?a<?b") == ["?a", "<", "?b"]
+
+    def test_less_than_vs_iri(self):
+        # '<' followed by a space-free '>' is an IRI...
+        assert texts("?x <p> ?y") == ["?x", "p", "?y"]
+        # ...but a '<' whose '>' lies past whitespace is a comparison.
+        assert texts("FILTER (?x < 5) FILTER (?y > 2)") == \
+            ["FILTER", "(", "?x", "<", "5", ")",
+             "FILTER", "(", "?y", ">", "2", ")"]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize('?x p "oops')
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a p b\nc q d")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[3].line == 2 and tokens[3].column == 1
+
+    def test_brackets_and_star(self):
+        assert texts("SELECT * [RANGE 1s]") == \
+            ["SELECT", "*", "[", "RANGE", "1s", "]"]
+
+
+class TestCursor:
+    def test_expect_case_insensitive(self):
+        cursor = TokenCursor(tokenize("select ?x"))
+        cursor.expect("SELECT")
+        assert cursor.next().text == "?x"
+        assert cursor.exhausted
+
+    def test_expect_mismatch(self):
+        cursor = TokenCursor(tokenize("ASK"))
+        with pytest.raises(ParseError):
+            cursor.expect("SELECT")
+
+    def test_accept_consumes_only_on_match(self):
+        cursor = TokenCursor(tokenize("a b"))
+        assert not cursor.accept("b")
+        assert cursor.accept("a")
+        assert cursor.accept("b")
+
+    def test_next_past_end(self):
+        cursor = TokenCursor([])
+        with pytest.raises(ParseError):
+            cursor.next()
+
+    def test_peek_with_offset(self):
+        cursor = TokenCursor(tokenize("a b c"))
+        assert cursor.peek(2).text == "c"
+        assert cursor.peek(3) is None

@@ -1,0 +1,154 @@
+"""Tests for the SPARQL / C-SPARQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sparql.ast import WindowSpec
+from repro.sparql.parser import parse_query
+
+QC = """
+REGISTER QUERY QC AS
+SELECT ?X ?Y ?Z
+FROM Tweet_Stream [RANGE 10s STEP 1s]
+FROM Like_Stream [RANGE 5s STEP 1s]
+FROM X-Lab
+WHERE {
+  GRAPH Tweet_Stream { ?X po ?Z }
+  GRAPH X-Lab { ?X fo ?Y }
+  GRAPH Like_Stream { ?Y li ?Z }
+}
+"""
+
+
+def test_parse_paper_continuous_query():
+    query = parse_query(QC)
+    assert query.name == "QC"
+    assert query.is_continuous
+    assert query.select == ["?X", "?Y", "?Z"]
+    assert query.windows["Tweet_Stream"] == WindowSpec(10_000, 1_000)
+    assert query.windows["Like_Stream"] == WindowSpec(5_000, 1_000)
+    assert query.static_graphs == ["X-Lab"]
+    assert len(query.patterns) == 3
+    assert query.patterns[0].graph == "Tweet_Stream"
+    assert query.patterns[1].graph == "X-Lab"
+
+
+def test_parse_paper_oneshot_query():
+    query = parse_query("""
+        SELECT ?X
+        FROM X-Lab
+        WHERE { Logan po ?X . ?X ht #sosp17-tag . Erik li ?X }
+    """.replace("#sosp17-tag", "sosp17"))
+    assert not query.is_continuous
+    assert len(query.patterns) == 3
+    assert query.patterns[0].graph is None
+
+
+def test_select_star():
+    query = parse_query("SELECT * WHERE { ?A p ?B }")
+    assert query.select == []
+    assert query.projected() == ["?A", "?B"]
+
+
+def test_durations():
+    query = parse_query(
+        "SELECT ?X FROM S [RANGE 500ms STEP 100ms] WHERE "
+        "{ GRAPH S { ?X p o } }")
+    assert query.windows["S"] == WindowSpec(500, 100)
+    query = parse_query(
+        "SELECT ?X FROM S [RANGE 2m STEP 1m] WHERE { GRAPH S { ?X p o } }")
+    assert query.windows["S"].range_ms == 120_000
+
+
+def test_keywords_case_insensitive():
+    query = parse_query(
+        "select ?X from S [range 1s step 1s] where { graph S { ?X p o } }")
+    assert "S" in query.windows
+
+
+def test_nested_graph_groups():
+    query = parse_query("""
+        SELECT ?X WHERE {
+            GRAPH A { ?X p ?Y . ?Y q ?Z }
+            ?X r c
+        }
+    """)
+    assert [p.graph for p in query.patterns] == ["A", "A", None]
+
+
+def test_bad_duration_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT ?X FROM S [RANGE soon STEP 1s] WHERE "
+                    "{ GRAPH S { ?X p o } }")
+
+
+def test_duplicate_stream_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT ?X FROM S [RANGE 1s STEP 1s] "
+                    "FROM S [RANGE 2s STEP 1s] WHERE { GRAPH S { ?X p o } }")
+
+
+def test_empty_where_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT ?X WHERE { }")
+
+
+def test_undeclared_graph_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT ?X FROM A WHERE { GRAPH B { ?X p o } }")
+
+
+def test_unbound_select_variable_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT ?Z WHERE { ?X p ?Y }")
+
+
+def test_trailing_tokens_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT ?X WHERE { ?X p o } garbage")
+
+
+def test_select_requires_variables():
+    with pytest.raises(ParseError):
+        parse_query("SELECT WHERE { ?X p o }")
+
+
+def test_prefix_expansion():
+    query = parse_query("""
+        PREFIX sn: <http://social.net/>
+        SELECT ?X WHERE { sn:Logan sn:po ?X . ?X sn:ht sn:sosp17 }
+    """)
+    assert query.patterns[0].subject == "http://social.net/Logan"
+    assert query.patterns[0].predicate == "http://social.net/po"
+    assert query.patterns[1].object == "http://social.net/sosp17"
+
+
+def test_prefix_expansion_in_filters_and_graphs():
+    query = parse_query("""
+        PREFIX sn: <http://social.net/>
+        SELECT ?X
+        FROM sn:Stream [RANGE 1s STEP 1s]
+        WHERE {
+            GRAPH sn:Stream { ?X sn:po ?P . FILTER (?X != sn:Erik) }
+        }
+    """)
+    assert "http://social.net/Stream" in query.windows
+    assert query.patterns[0].graph == "http://social.net/Stream"
+    assert query.filters[0].right == "http://social.net/Erik"
+
+
+def test_unknown_prefix_left_alone():
+    query = parse_query(
+        "PREFIX sn: <http://s/> SELECT ?X WHERE { other:Logan sn:po ?X }")
+    assert query.patterns[0].subject == "other:Logan"
+
+
+def test_select_distinct_accepted():
+    query = parse_query("SELECT DISTINCT ?X WHERE { Logan po ?X }")
+    assert query.select == ["?X"]
+
+
+def test_window_step_zero_rejected():
+    with pytest.raises(ValueError):
+        parse_query("SELECT ?X FROM S [RANGE 1s STEP 0s] WHERE "
+                    "{ GRAPH S { ?X p o } }")

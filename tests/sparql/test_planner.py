@@ -1,0 +1,92 @@
+"""Tests for the graph-exploration planner."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import (BOUND_OBJECT, BOUND_SUBJECT, CONST_OBJECT,
+                                  CONST_SUBJECT, INDEX_START, plan_query,
+                                  plan_steps)
+
+
+def test_constant_start_preferred():
+    # Both patterns have a constant; the tie breaks on WHERE order, so the
+    # const-object pattern leads and the const-subject one follows.
+    plan = plan_query(parse_query(
+        "SELECT ?X WHERE { ?X ht tag . Logan po ?X }"))
+    assert plan.steps[0].kind == CONST_OBJECT
+    assert plan.steps[1].kind == CONST_SUBJECT
+    assert plan.steps[1].pattern.subject == "Logan"
+
+
+def test_bound_expansion_follows_constants():
+    plan = plan_query(parse_query(
+        "SELECT ?F ?P WHERE { Logan fo ?F . ?F po ?P }"))
+    assert [s.kind for s in plan.steps] == [CONST_SUBJECT, BOUND_SUBJECT]
+
+
+def test_bound_object_kind():
+    plan = plan_query(parse_query(
+        "SELECT ?P ?L WHERE { Logan po ?P . ?L li ?P }"))
+    assert plan.steps[1].kind == BOUND_OBJECT
+
+
+def test_index_start_when_no_constants():
+    plan = plan_query(parse_query("SELECT ?U ?P WHERE { ?U po ?P }"))
+    assert plan.steps[0].kind == INDEX_START
+
+
+def test_index_start_then_bound():
+    plan = plan_query(parse_query(
+        "SELECT ?U ?P ?T WHERE { ?U po ?P . ?P ht ?T }"))
+    assert [s.kind for s in plan.steps] == [INDEX_START, BOUND_SUBJECT]
+
+
+def test_variable_predicate_rejected():
+    with pytest.raises(PlanError):
+        plan_query(parse_query("SELECT ?X ?P WHERE { ?X ?P o }"))
+
+
+def test_fixed_order_respected():
+    query = parse_query(
+        "SELECT ?X ?Y WHERE { Logan po ?X . ?Y li ?X . ?Y fo Erik }")
+    plan = plan_query(query, fixed_order=[2, 1, 0])
+    assert plan.steps[0].pattern is query.patterns[2]
+    assert plan.steps[1].pattern is query.patterns[1]
+
+
+def test_fixed_order_must_be_permutation():
+    query = parse_query("SELECT ?X WHERE { Logan po ?X . ?X ht t }")
+    with pytest.raises(PlanError):
+        plan_query(query, fixed_order=[0, 0])
+
+
+def test_plan_covers_all_patterns_once():
+    query = parse_query(
+        "SELECT ?X ?Y ?Z WHERE { ?X po ?Z . ?X fo ?Y . ?Y li ?Z }")
+    plan = plan_query(query)
+    assert sorted(id(s.pattern) for s in plan.steps) == \
+        sorted(id(p) for p in query.patterns)
+
+
+def test_plan_steps_with_prebound_variables():
+    query = parse_query("SELECT ?X ?Y WHERE { ?X fo ?Y }")
+    steps = plan_steps(query.patterns, prebound={"?X"})
+    assert steps[0].kind == BOUND_SUBJECT
+
+
+def test_greedy_keeps_exploration_connected():
+    # Every step after the first should be const or bound, never a fresh
+    # index start, when the pattern graph is connected.
+    query = parse_query("""
+        SELECT ?X ?Y ?Z WHERE {
+            GRAPH T { ?X po ?Z }
+            GRAPH X { ?X fo ?Y }
+            GRAPH L { ?Y li ?Z }
+        }
+    """.replace("GRAPH T", "GRAPH stream1").replace("GRAPH L", "GRAPH stream2")
+        .replace("GRAPH X", "GRAPH stat"))
+    plan = plan_query(query)
+    assert plan.steps[0].kind == INDEX_START
+    for step in plan.steps[1:]:
+        assert step.kind in (BOUND_SUBJECT, BOUND_OBJECT)

@@ -1,0 +1,148 @@
+"""Tests for the snapshot-versioned shard store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StoreError
+from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
+from repro.sim.cost import LatencyMeter
+from repro.store.kvstore import BASE_SN, ShardStore, ValueSpan
+
+KEY = make_key(1, 4, DIR_OUT)
+
+
+def test_insert_and_lookup():
+    shard = ShardStore()
+    shard.insert(KEY, 5)
+    shard.insert(KEY, 6)
+    assert shard.lookup(KEY) == [5, 6]
+
+
+def test_lookup_missing_key_is_empty():
+    assert ShardStore().lookup(KEY) == []
+
+
+def test_snapshot_visibility():
+    shard = ShardStore()
+    shard.insert(KEY, 5, sn=0)
+    shard.insert(KEY, 6, sn=1)
+    shard.insert(KEY, 7, sn=2)
+    assert shard.lookup(KEY, max_sn=0) == [5]
+    assert shard.lookup(KEY, max_sn=1) == [5, 6]
+    assert shard.lookup(KEY, max_sn=2) == [5, 6, 7]
+    assert shard.lookup(KEY, max_sn=None) == [5, 6, 7]
+
+
+def test_sn_order_enforced_per_key():
+    shard = ShardStore()
+    shard.insert(KEY, 5, sn=2)
+    with pytest.raises(StoreError):
+        shard.insert(KEY, 6, sn=1)
+
+
+def test_same_sn_appends_fine():
+    shard = ShardStore()
+    shard.insert(KEY, 5, sn=2)
+    shard.insert(KEY, 6, sn=2)
+    assert shard.lookup(KEY, max_sn=2) == [5, 6]
+
+
+def test_spans_address_exact_entries():
+    shard = ShardStore()
+    spans = [shard.insert(KEY, vid) for vid in (5, 6, 7)]
+    assert shard.lookup_span(spans[1]) == [6]
+    wide = ValueSpan(KEY, 1, 2)
+    assert shard.lookup_span(wide) == [6, 7]
+
+
+def test_span_out_of_bounds_rejected():
+    shard = ShardStore()
+    shard.insert(KEY, 5)
+    with pytest.raises(StoreError):
+        shard.lookup_span(ValueSpan(KEY, 0, 2))
+    with pytest.raises(StoreError):
+        shard.lookup_span(ValueSpan(make_key(9, 9, 0), 0, 1))
+
+
+def test_compaction_folds_old_snapshots():
+    shard = ShardStore()
+    shard.insert(KEY, 5, sn=1)
+    shard.insert(KEY, 6, sn=2)
+    shard.insert(KEY, 7, sn=3)
+    touched = shard.compact(2)
+    assert touched == 1
+    # Visibility at or above the bound is unchanged...
+    assert shard.lookup(KEY, max_sn=2) == [5, 6]
+    assert shard.lookup(KEY, max_sn=3) == [5, 6, 7]
+    # ...and everything at or below the bound became base-visible.
+    assert shard.lookup(KEY, max_sn=0) == [5, 6]
+
+
+def test_compaction_preserves_spans():
+    shard = ShardStore()
+    spans = [shard.insert(KEY, vid, sn=sn)
+             for sn, vid in [(1, 5), (2, 6), (3, 7)]]
+    shard.compact(2)
+    assert shard.lookup_span(spans[0]) == [5]
+    assert shard.lookup_span(spans[2]) == [7]
+
+
+def test_index_vertices_deduplicate():
+    shard = ShardStore()
+    assert shard.add_index(4, DIR_OUT, 1)
+    assert not shard.add_index(4, DIR_OUT, 1)
+    assert shard.add_index(4, DIR_OUT, 2)
+    assert shard.index_vertices(4, DIR_OUT) == [1, 2]
+    assert shard.index_vertices(4, DIR_IN) == []
+
+
+def test_costs_charged_on_lookup():
+    shard = ShardStore()
+    shard.insert(KEY, 5)
+    shard.insert(KEY, 6)
+    meter = LatencyMeter()
+    shard.lookup(KEY, meter=meter)
+    expected = shard.cost.hash_probe_ns + 2 * shard.cost.scan_entry_ns
+    assert meter.ns == expected
+
+
+def test_span_read_skips_hash_probe():
+    shard = ShardStore()
+    span = shard.insert(KEY, 5)
+    meter = LatencyMeter()
+    shard.lookup_span(span, meter=meter)
+    assert meter.ns == shard.cost.scan_entry_ns
+
+
+def test_memory_accounting_counts_segments():
+    shard = ShardStore()
+    shard.insert(KEY, 5, sn=1)
+    shard.insert(KEY, 6, sn=2)
+    before = shard.memory_bytes()
+    shard.compact(2)
+    after = shard.memory_bytes()
+    assert after < before  # two SN segments collapsed into one
+
+
+def test_stats():
+    shard = ShardStore()
+    shard.insert(KEY, 5)
+    shard.insert(make_key(2, 4, DIR_OUT), 1)
+    assert shard.num_keys == 2
+    assert shard.num_entries == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(1, 100)),
+                min_size=1, max_size=40))
+def test_visibility_is_monotonic_in_sn(entries):
+    """Reading at a larger snapshot never sees fewer entries (prefix reads)."""
+    shard = ShardStore()
+    entries = sorted(entries, key=lambda e: e[0])
+    for sn, vid in entries:
+        shard.insert(KEY, vid, sn=sn)
+    previous = []
+    for sn in range(0, 7):
+        visible = shard.lookup(KEY, max_sn=sn)
+        assert visible[:len(previous)] == previous
+        previous = visible
+    assert previous == [vid for _, vid in entries]

@@ -1,0 +1,76 @@
+"""Tests for replayable stream sources (upstream backup)."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.rdf.terms import TimedTuple, Triple
+from repro.streams.source import StreamSource
+from repro.streams.stream import StreamBatch, StreamSchema
+
+
+def make_source(n_batches=5):
+    source = StreamSource(StreamSchema("S"))
+    for k in range(1, n_batches + 1):
+        source.queue(StreamBatch("S", k, (k - 1) * 100, k * 100))
+    return source
+
+
+def test_batches_delivered_in_order():
+    source = make_source(3)
+    delivered = [b.batch_no for b in source.drain()]
+    assert delivered == [1, 2, 3]
+    assert source.next_batch() is None
+
+
+def test_wrong_stream_rejected():
+    source = StreamSource(StreamSchema("S"))
+    with pytest.raises(StreamError):
+        source.queue(StreamBatch("other", 1, 0, 100))
+
+
+def test_out_of_order_queue_rejected():
+    source = StreamSource(StreamSchema("S"))
+    source.queue(StreamBatch("S", 1, 0, 100))
+    with pytest.raises(StreamError):
+        source.queue(StreamBatch("S", 3, 200, 300))
+
+
+def test_delivered_batches_are_backed_up():
+    source = make_source(4)
+    for _ in range(3):
+        source.next_batch()
+    assert source.backup_size == 3
+    assert [b.batch_no for b in source.replay(1)] == [2, 3]
+
+
+def test_ack_trims_backup():
+    source = make_source(4)
+    list(source.drain())
+    source.ack(2)
+    assert source.backup_size == 2
+    assert [b.batch_no for b in source.replay(2)] == [3, 4]
+
+
+def test_replay_below_ack_rejected():
+    source = make_source(4)
+    list(source.drain())
+    source.ack(2)
+    with pytest.raises(StreamError):
+        source.replay(1)
+
+
+def test_ack_cannot_regress():
+    source = make_source(3)
+    list(source.drain())
+    source.ack(2)
+    with pytest.raises(StreamError):
+        source.ack(1)
+
+
+def test_queue_tuples_batches_automatically():
+    source = StreamSource(StreamSchema("S"))
+    tuples = [TimedTuple(Triple("a", "p", "b"), 50),
+              TimedTuple(Triple("c", "p", "d"), 250)]
+    n = source.queue_tuples(tuples, start_ms=0, interval_ms=100)
+    assert n == 3
+    assert [len(b) for b in source.drain()] == [1, 0, 1]

@@ -1,0 +1,69 @@
+"""Tests for window arithmetic."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.sparql.ast import WindowSpec
+from repro.streams.window import (WindowPlanner, expiry_floor_ms,
+                                  next_execution_ms)
+
+
+def planner(range_ms=1000, step_ms=100, interval=100, start=0):
+    return WindowPlanner(WindowSpec(range_ms, step_ms), interval, start)
+
+
+def test_last_batch_needed():
+    p = planner()
+    assert p.last_batch_needed(0) == 0
+    assert p.last_batch_needed(99) == 0
+    assert p.last_batch_needed(100) == 1
+    assert p.last_batch_needed(1000) == 10
+
+
+def test_batch_range_full_window():
+    p = planner(range_ms=500)
+    first, last = p.batch_range(1000)
+    assert (first, last) == (6, 10)  # batches covering [500, 1000)
+
+
+def test_batch_range_clamped_at_stream_start():
+    p = planner(range_ms=2000)
+    first, last = p.batch_range(1000)
+    assert (first, last) == (1, 10)
+
+
+def test_batch_range_empty_before_start():
+    p = planner()
+    first, last = p.batch_range(0)
+    assert first > last
+
+
+def test_step_must_align_with_interval():
+    with pytest.raises(StreamError):
+        WindowPlanner(WindowSpec(1000, 150), 100)
+
+
+def test_nonzero_stream_start():
+    p = planner(start=1000)
+    assert p.last_batch_needed(1000) == 0
+    assert p.last_batch_needed(1200) == 2
+    assert p.batch_range(2000) == (1, 10)
+
+
+def test_next_execution_times():
+    assert next_execution_ms(0, 100, 0) == 100
+    assert next_execution_ms(0, 100, 50) == 100
+    assert next_execution_ms(0, 100, 100) == 100
+    assert next_execution_ms(0, 100, 101) == 200
+    assert next_execution_ms(500, 1000, 2600) == 3500
+
+
+def test_expiry_floor():
+    windows = {"A": WindowSpec(1000, 100), "B": WindowSpec(5000, 100)}
+    assert expiry_floor_ms(10_000, windows) == 5_000
+    assert expiry_floor_ms(10_000, {}) == 10_000
+
+
+def test_span_at():
+    p = planner(range_ms=300)
+    assert p.span_at(1000) == (700, 1000)

@@ -1,0 +1,26 @@
+"""Run the package's docstring examples as tests.
+
+Public-API docstrings carry runnable examples; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    failures, _ = doctest.testmod(module, verbose=False)
+    assert failures == 0, f"doctest failures in {module_name}"

@@ -1,0 +1,41 @@
+"""Tests for the error hierarchy and top-level package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (ConsistencyError, FaultToleranceError, ParseError,
+                          PlanError, RegistrationError, ReproError,
+                          StoreError, StreamError,
+                          UnsupportedOperationError)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (ParseError, PlanError, StoreError, StreamError,
+                     ConsistencyError, RegistrationError,
+                     UnsupportedOperationError, FaultToleranceError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_parse_error_carries_position():
+    error = ParseError("bad token", line=3, column=7)
+    assert error.line == 3
+    assert error.column == 7
+    assert "line 3" in str(error)
+
+
+def test_parse_error_without_position():
+    assert str(ParseError("oops")) == "oops"
+
+
+def test_package_exports():
+    assert repro.__version__
+    engine = repro.WukongSEngine(schemas=[repro.StreamSchema("S")],
+                                 config=repro.EngineConfig(num_nodes=1))
+    assert engine.cluster.num_nodes == 1
+    query = repro.parse_query("SELECT ?x WHERE { a p ?x }")
+    assert query.projected() == ["?x"]
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        repro.parse_query("not a query")
