@@ -1,0 +1,165 @@
+"""Wall-clock benchmark harness: how fast does the simulator itself run?
+
+Every scientific figure of this reproduction is *simulated* nanoseconds,
+but producing the figures is real Python executing the real algorithms, so
+the wall-clock speed of the hot paths bounds how large a workload the
+benchmark suite can afford.  This harness times the three pipeline phases
+on a fixed LSBench workload and records the medians in
+``BENCH_wallclock.json`` so successive PRs leave a perf trajectory:
+
+``injection``
+    Stream batches through Adaptor -> Dispatcher -> Injector -> stream
+    index, with no queries registered.
+
+``continuous``
+    The same workload with L1-L6 registered: dominated by graph
+    exploration and window reads (the headline scenario).
+
+``oneshot``
+    S1-S6 one-shot queries over the evolved store.
+
+Simulated results are guarded separately (``tests/core/test_determinism``):
+optimizations must move these numbers and *only* these numbers.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py [--quick] [--out PATH]
+        [--baseline PATH]
+
+``--quick`` is the CI smoke mode (shorter duration, fewer repeats).  With a
+baseline file (default ``benchmarks/BENCH_wallclock_seed.json``, recorded
+from the pre-fast-path seed), per-scenario speedups are included.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import build_wukongs  # noqa: E402
+from repro.bench.lsbench import LSBench, LSBenchConfig  # noqa: E402
+
+L_QUERIES = ["L1", "L2", "L3", "L4", "L5", "L6"]
+S_QUERIES = ["S1", "S2", "S3", "S4", "S5", "S6"]
+
+SEED_BASELINE = os.path.join(_HERE, "BENCH_wallclock_seed.json")
+SEED_BASELINE_QUICK = os.path.join(_HERE, "BENCH_wallclock_seed_quick.json")
+DEFAULT_OUT = os.path.join(os.path.dirname(_HERE), "BENCH_wallclock.json")
+
+
+def _bench():
+    return LSBench(LSBenchConfig())
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_injection(duration_ms: int) -> float:
+    engine = build_wukongs(_bench(), num_nodes=1, duration_ms=duration_ms)
+    return _timed(lambda: engine.run_until(duration_ms))
+
+
+def run_continuous(duration_ms: int) -> float:
+    bench = _bench()
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=duration_ms)
+    for name in L_QUERIES:
+        engine.register_continuous(bench.continuous_query(name))
+    return _timed(lambda: engine.run_until(duration_ms))
+
+
+def run_oneshot(duration_ms: int, rounds: int = 10) -> float:
+    bench = _bench()
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=duration_ms)
+    engine.run_until(duration_ms)
+    queries = [bench.oneshot_query(name) for name in S_QUERIES]
+
+    def execute_all():
+        for _ in range(rounds):
+            for text in queries:
+                engine.oneshot(text)
+
+    return _timed(execute_all)
+
+
+SCENARIOS = {
+    "injection": run_injection,
+    "continuous": run_continuous,
+    "oneshot": run_oneshot,
+}
+
+
+def measure(duration_ms: int, repeats: int) -> dict:
+    results = {}
+    for name, runner in SCENARIOS.items():
+        runs = []
+        for _ in range(repeats):
+            runs.append(runner(duration_ms))
+        results[name] = {
+            "median_s": statistics.median(runs),
+            "runs_s": runs,
+        }
+        print(f"{name:12s} median {results[name]['median_s']:.3f}s "
+              f"({', '.join(f'{r:.3f}' for r in runs)})", flush=True)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: shorter duration, 3 repeats")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to compute speedups against")
+    args = parser.parse_args(argv)
+
+    if args.baseline is None:
+        args.baseline = SEED_BASELINE_QUICK if args.quick else SEED_BASELINE
+    duration_ms = 1_500 if args.quick else 2_500
+    repeats = 3 if args.quick else 5
+    results = measure(duration_ms, repeats)
+
+    report = {
+        "mode": "quick" if args.quick else "full",
+        "duration_ms": duration_ms,
+        "repeats": repeats,
+        "scenarios": results,
+    }
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        if baseline.get("mode") == report["mode"]:
+            speedups = {}
+            for name, result in results.items():
+                base = baseline.get("scenarios", {}).get(name)
+                if base and result["median_s"] > 0:
+                    speedups[name] = base["median_s"] / result["median_s"]
+            report["baseline"] = {
+                name: base["median_s"]
+                for name, base in baseline.get("scenarios", {}).items()
+            }
+            report["speedup_vs_seed"] = speedups
+            for name, speedup in speedups.items():
+                print(f"{name:12s} speedup vs seed: {speedup:.2f}x",
+                      flush=True)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

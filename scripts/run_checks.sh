@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate: the full test suite plus a quick wall-clock benchmark.
+#
+# The benchmark runs in --quick mode (shorter scenarios, fewer repeats)
+# and writes BENCH_wallclock.json at the repo root; compare speedup_vs_seed
+# there against the recorded seed baselines.  Use
+# `python benchmarks/bench_wallclock.py` (no --quick) for citable numbers.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "== wall-clock benchmark (quick) =="
+PYTHONPATH=src python benchmarks/bench_wallclock.py --quick
+
+echo "== done: see BENCH_wallclock.json =="

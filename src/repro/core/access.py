@@ -80,6 +80,16 @@ class WindowAccess:
         # distributed branches get on-demand replicas (§4.2).
         self._index_local = force_local_index or \
             registry.is_local(stream_schema.name, home_node)
+        #: eid -> is-timing memo (the schema and string table never remap
+        #: an encoded predicate, so the classification is stable).
+        self._timing_eids: Dict[int, bool] = {}
+
+    def _is_timing(self, eid: int) -> bool:
+        timing = self._timing_eids.get(eid)
+        if timing is None:
+            timing = self.schema.is_timing(self.strings.predicate_name(eid))
+            self._timing_eids[eid] = timing
+        return timing
 
     # -- StoreAccess protocol ------------------------------------------------
     def resolve_entity(self, name: str) -> Optional[int]:
@@ -90,13 +100,13 @@ class WindowAccess:
 
     def neighbors(self, vid: int, eid: int, d: int,
                   meter: LatencyMeter) -> List[int]:
-        if self.schema.is_timing(self.strings.predicate_name(eid)):
+        if self._is_timing(eid):
             return self._timing_neighbors(vid, eid, d, meter)
         return self._timeless_neighbors(vid, eid, d, meter)
 
     def index_vertices(self, eid: int, d: int,
                        meter: LatencyMeter) -> List[int]:
-        if self.schema.is_timing(self.strings.predicate_name(eid)):
+        if self._is_timing(eid):
             out: List[int] = []
             seen = set()
             for node_id, transient in enumerate(self.transients):
@@ -121,7 +131,7 @@ class WindowAccess:
         Fork-join/migrate branches partition the start set by owner; the
         stream index is consulted once (it is replicated where needed).
         """
-        if self.schema.is_timing(self.strings.predicate_name(eid)):
+        if self._is_timing(eid):
             return self.transients[node_id].vertices(
                 eid, d, self.first_batch, self.last_batch, meter=meter)
         vertices = self.registry.index(self.schema.name).vertices(

@@ -25,7 +25,7 @@ from repro.core.dispatcher import NodeBatch
 from repro.core.stream_index import IndexSlice
 from repro.core.transient import TransientStore
 from repro.rdf.terms import EncodedTuple
-from repro.sim.cost import LatencyMeter
+from repro.sim.cost import ChargeSet, LatencyMeter
 from repro.store.distributed import DistributedStore
 
 
@@ -73,19 +73,24 @@ class Injector:
         out_parts = self._partition(node_batch.out_timeless, True)
         in_parts = self._partition(node_batch.in_timeless, False)
         for thread in range(len(out_parts)):
-            branch = meter.spawn() if meter is not None else None
+            # Store primitives charge into a ChargeSet instead of a meter:
+            # one aggregated flush per thread replaces one meter call per
+            # inserted entry, with a bit-identical branch total.
+            charges = ChargeSet() if meter is not None else None
             for encoded in out_parts[thread]:
                 span = self.store.insert_out_edge(encoded.triple, sn=sn,
-                                                  meter=branch)
+                                                  meter=charges)
                 if index_slice is not None:
                     index_slice.add_span(self.node_id, span)
                 self.tuples_injected += 1
             for encoded in in_parts[thread]:
                 span = self.store.insert_in_edge(encoded.triple, sn=sn,
-                                                 meter=branch)
+                                                 meter=charges)
                 if index_slice is not None:
                     index_slice.add_span(self.node_id, span)
-            if branch is not None:
+            if meter is not None:
+                branch = meter.spawn()
+                charges.flush(branch)
                 branches.append(branch)
         if meter is not None:
             meter.join_parallel(branches)

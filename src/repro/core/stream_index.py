@@ -22,7 +22,9 @@ on demand and dropped when the last interested query unregisters.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
+from operator import itemgetter
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import StoreError, StreamError
@@ -74,9 +76,24 @@ class IndexSlice:
         return total
 
 
+#: Sort key for posting lists: the batch number of one posting.
+_posting_batch = itemgetter(0)
+
+
 class StreamIndex:
     """All live index slices of one stream (logical content; see registry
-    for replication)."""
+    for replication).
+
+    Next to the time-ordered slice deque, the index keeps *skip postings*:
+    per key (and per (eid, d) vertex group) a batch-ordered list of
+    references into the slices that actually contain that key.  Lookups
+    bisect the postings to the queried batch range instead of scanning
+    every live slice, which only changes wall-clock time — the simulated
+    charge stays one ``index_probe_ns`` per live slice in the range
+    (counted by bisecting the sorted batch-number list), exactly as the
+    linear scan charged.  Slices are immutable once appended, so postings
+    alias the slice's own span lists and vertex sets.
+    """
 
     def __init__(self, stream: str, cost: Optional[CostModel] = None,
                  memory: Optional[MemoryModel] = None):
@@ -84,6 +101,13 @@ class StreamIndex:
         self.cost = cost if cost is not None else CostModel()
         self.memory = memory if memory is not None else MemoryModel()
         self._slices: Deque[IndexSlice] = deque()
+        #: Sorted batch numbers of the live slices (mirrors ``_slices``).
+        self._batch_nos: List[int] = []
+        #: key -> [(batch_no, spans)] for the slices containing the key.
+        self._key_postings: Dict[Key, List[Tuple[int, List[OwnedSpan]]]] = {}
+        #: (eid, d) -> [(batch_no, vertex set)] for slices with that group.
+        self._vertex_postings: Dict[Tuple[int, int],
+                                    List[Tuple[int, Set[int]]]] = {}
         #: Batches strictly below this were garbage-collected (time-scoped
         #: one-shot queries refuse to read reclaimed history).
         self.collected_before = 1
@@ -99,21 +123,34 @@ class StreamIndex:
             meter.charge(self.cost.insert_entry_ns, times=piece.num_entries,
                          category="indexing")
         self._slices.append(piece)
+        self._batch_nos.append(piece.batch_no)
+        for key, spans in piece.entries.items():
+            self._key_postings.setdefault(key, []).append(
+                (piece.batch_no, spans))
+        for group, members in piece.vertices.items():
+            self._vertex_postings.setdefault(group, []).append(
+                (piece.batch_no, members))
 
     # -- reads ------------------------------------------------------------
+    def _probes_in(self, first_batch: int, last_batch: int) -> int:
+        """Live slices in [first, last]: the simulated probe count."""
+        return bisect_right(self._batch_nos, last_batch) \
+            - bisect_left(self._batch_nos, first_batch)
+
     def lookup_spans(self, key: Key, first_batch: int, last_batch: int,
                      meter: Optional[LatencyMeter] = None) -> List[OwnedSpan]:
         """Spans for ``key`` across batches [first, last] (inclusive)."""
+        if meter is not None:
+            probes = self._probes_in(first_batch, last_batch)
+            if probes:
+                meter.charge(self.cost.index_probe_ns, times=probes,
+                             category="store")
         spans: List[OwnedSpan] = []
-        for piece in self._slices:
-            if piece.batch_no < first_batch:
-                continue
-            if piece.batch_no > last_batch:
-                break
-            if meter is not None:
-                meter.charge(self.cost.index_probe_ns, category="store")
-            found = piece.entries.get(key)
-            if found:
+        postings = self._key_postings.get(key)
+        if postings:
+            lo = bisect_left(postings, first_batch, key=_posting_batch)
+            hi = bisect_right(postings, last_batch, lo=lo, key=_posting_batch)
+            for _, found in postings[lo:hi]:
                 spans.extend(found)
         return spans
 
@@ -122,18 +159,24 @@ class StreamIndex:
         """Distinct vertices touched by (eid, d) edges in the batch range."""
         out: List[int] = []
         seen: Set[int] = set()
-        for piece in self._slices:
-            if piece.batch_no < first_batch or piece.batch_no > last_batch:
-                continue
-            members = piece.vertices.get((eid, d), ())
-            if meter is not None:
-                meter.charge(self.cost.index_probe_ns, category="store")
-                meter.charge(self.cost.scan_entry_ns, times=len(members),
+        scanned = 0
+        postings = self._vertex_postings.get((eid, d))
+        if postings:
+            lo = bisect_left(postings, first_batch, key=_posting_batch)
+            hi = bisect_right(postings, last_batch, lo=lo, key=_posting_batch)
+            for _, members in postings[lo:hi]:
+                scanned += len(members)
+                for vid in members:
+                    if vid not in seen:
+                        seen.add(vid)
+                        out.append(vid)
+        if meter is not None:
+            probes = self._probes_in(first_batch, last_batch)
+            if probes:
+                meter.charge(self.cost.index_probe_ns, times=probes,
                              category="store")
-            for vid in members:
-                if vid not in seen:
-                    seen.add(vid)
-                    out.append(vid)
+                meter.charge(self.cost.scan_entry_ns, times=scanned,
+                             category="store")
         return out
 
     # -- GC ----------------------------------------------------------------
@@ -145,6 +188,19 @@ class StreamIndex:
         freed = 0
         while self._slices and self._slices[0].batch_no < before_batch_no:
             piece = self._slices.popleft()
+            del self._batch_nos[0]
+            # Slices leave strictly from the left, so the collected batch is
+            # the head posting of every key/group it contains.
+            for key in piece.entries:
+                postings = self._key_postings[key]
+                del postings[0]
+                if not postings:
+                    del self._key_postings[key]
+            for group in piece.vertices:
+                postings = self._vertex_postings[group]
+                del postings[0]
+                if not postings:
+                    del self._vertex_postings[group]
             if meter is not None:
                 meter.charge(self.cost.gc_entry_ns, times=piece.num_entries,
                              category="gc")

@@ -89,12 +89,12 @@ class TransientStore:
         piece = TransientSlice(batch_no)
         for enc in out_tuples:
             piece.add_out(enc.triple.s, enc.triple.p, enc.triple.o)
-            if meter is not None:
-                meter.charge(self.cost.insert_entry_ns, category="injection")
         for enc in in_tuples:
             piece.add_in(enc.triple.s, enc.triple.p, enc.triple.o)
-            if meter is not None:
-                meter.charge(self.cost.insert_entry_ns, category="injection")
+        inserted = len(out_tuples) + len(in_tuples)
+        if meter is not None and inserted:
+            meter.charge(self.cost.insert_entry_ns, times=inserted,
+                         category="injection")
         self._slices.append(piece)
         self._enforce_budget(meter)
         return piece
@@ -145,19 +145,21 @@ class TransientStore:
         """Neighbour vids within the batch range [first, last] (inclusive)."""
         key = make_key(vid, eid, d)
         found: List[int] = []
+        probes = 0
         for piece in self._slices:
             if piece.batch_no < first_batch:
                 continue
             if piece.batch_no > last_batch:
                 break
-            if meter is not None:
-                meter.charge(self.cost.hash_probe_ns, category="store")
+            probes += 1
             values = piece.kv.get(key)
             if values:
-                if meter is not None:
-                    meter.charge(self.cost.scan_entry_ns, times=len(values),
-                                 category="store")
                 found.extend(values)
+        if meter is not None and probes:
+            meter.charge(self.cost.hash_probe_ns, times=probes,
+                         category="store")
+            meter.charge(self.cost.scan_entry_ns, times=len(found),
+                         category="store")
         return found
 
     def vertices(self, eid: int, d: int, first_batch: int, last_batch: int,
@@ -165,18 +167,25 @@ class TransientStore:
         """Distinct vertices with an (eid, d) edge in the batch range."""
         out: List[int] = []
         seen: Set[int] = set()
+        probes = 0
+        scanned = 0
         for piece in self._slices:
-            if piece.batch_no < first_batch or piece.batch_no > last_batch:
+            if piece.batch_no < first_batch:
                 continue
+            if piece.batch_no > last_batch:
+                break
+            probes += 1
             members = piece.subjects.get((eid, d), ())
-            if meter is not None:
-                meter.charge(self.cost.hash_probe_ns, category="store")
-                meter.charge(self.cost.scan_entry_ns, times=len(members),
-                             category="store")
+            scanned += len(members)
             for vid in members:
                 if vid not in seen:
                     seen.add(vid)
                     out.append(vid)
+        if meter is not None and probes:
+            meter.charge(self.cost.hash_probe_ns, times=probes,
+                         category="store")
+            meter.charge(self.cost.scan_entry_ns, times=scanned,
+                         category="store")
         return out
 
     # -- stats ---------------------------------------------------------------

@@ -172,6 +172,17 @@ class LatencyMeter:
         if category is not None:
             self._breakdown[category] = self._breakdown.get(category, 0.0) + total
 
+    def charge_many(self, charges: Iterable) -> None:
+        """Apply many ``(ns, times, category)`` charges in one call.
+
+        Each triple is applied exactly as :meth:`charge` would: because all
+        hot-path cost constants are integer-valued, ``ns * times`` equals
+        ``times`` separate additions bit-for-bit, so converting a per-entry
+        charge loop to one aggregated call never moves simulated time.
+        """
+        for ns, times, category in charges:
+            self.charge(ns, times=times, category=category)
+
     def add(self, other: "LatencyMeter") -> None:
         """Fold another meter in sequentially (sum of times)."""
         self._ns += other._ns
@@ -218,6 +229,37 @@ class LatencyMeter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LatencyMeter(ms={self.ms:.4f})"
+
+
+class ChargeSet:
+    """Accumulates charges for one activity, flushed aggregated at the end.
+
+    A ``ChargeSet`` quacks like a :class:`LatencyMeter` for charging (it
+    exposes the same ``charge(ns, times=1, category=None)`` shape), so it
+    can be handed to store primitives in place of a meter inside a hot
+    loop.  It merely counts occurrences per ``(ns, category)`` pair;
+    :meth:`flush` then issues one aggregated ``meter.charge`` per pair.
+    With integer-valued cost constants the flushed total is bit-identical
+    to charging each event individually (integer sums stay exact well
+    below 2**53), while the Python-level overhead drops from one meter
+    call per store entry to one per distinct price.
+    """
+
+    __slots__ = ("_acc",)
+
+    def __init__(self) -> None:
+        self._acc: Dict = {}
+
+    def charge(self, ns: float, times: int = 1,
+               category: Optional[str] = None) -> None:
+        key = (ns, category)
+        self._acc[key] = self._acc.get(key, 0) + times
+
+    def flush(self, meter: LatencyMeter) -> None:
+        """Emit one aggregated charge per distinct (ns, category) pair."""
+        for (ns, category), times in self._acc.items():
+            meter.charge(ns, times=times, category=category)
+        self._acc.clear()
 
 
 @dataclass

@@ -27,12 +27,23 @@ node id to a pattern->:class:`~repro.store.distributed.StoreAccess`
 resolver, so the same executor drives one-shot queries (persistent store
 only) and continuous queries (stream windows + persistent store) — the
 global-plan advantage of the integrated design.
+
+Fast path: each plan is *compiled* once — variables get fixed slot
+indices, and binding rows become plain lists indexed by slot (``None`` =
+unbound) instead of per-row dicts.  Step patterns, the FILTER schedule and
+UNION/OPTIONAL sub-plans are resolved to slots at compile time and cached
+on the plan.  This only changes wall-clock speed: lookup and binding
+charges are issued for exactly the same events as the dict-row
+implementation (aggregated per expansion with integer-valued constants,
+so the simulated totals are bit-identical — see DESIGN.md, "Wall-clock vs
+simulated time").
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
@@ -51,8 +62,11 @@ from repro.sparql.planner import (
 )
 from repro.store.distributed import StoreAccess
 
-#: One variable-binding row.
+#: One variable-binding row in the public (dict) API.
 Row = Dict[str, int]
+
+#: Internal fast-path row: one value per compiled slot, None = unbound.
+SlotRow = List[Optional[int]]
 
 #: Maps a pattern to the data source it should read.
 AccessResolver = Callable[[TriplePattern], StoreAccess]
@@ -83,6 +97,114 @@ class ExecutionResult:
         return bool(self.rows)
 
 
+class _CompiledStep:
+    """One planned step with its variables resolved to slot indices."""
+
+    __slots__ = ("kind", "pattern", "subject", "predicate", "object",
+                 "subj_slot", "obj_slot")
+
+    def __init__(self, step: PlannedStep, slots: Dict[str, int]):
+        pattern = step.pattern
+        self.kind = step.kind
+        self.pattern = pattern
+        self.subject = pattern.subject
+        self.predicate = pattern.predicate
+        self.object = pattern.object
+        self.subj_slot = slots[pattern.subject] \
+            if is_variable(pattern.subject) else None
+        self.obj_slot = slots[pattern.object] \
+            if is_variable(pattern.object) else None
+
+
+class _CompiledPlan:
+    """Slot layout + precompiled steps/filters/sub-plans of one plan."""
+
+    __slots__ = ("slots", "nslots", "steps", "filters_at",
+                 "leftover_filters", "unions", "optionals",
+                 "project_slots", "project_getter")
+
+    def __init__(self, plan: ExecutionPlan):
+        from repro.sparql.planner import plan_steps
+        query = plan.query
+        self.slots: Dict[str, int] = {}
+        for var in query.variables():
+            if var not in self.slots:
+                self.slots[var] = len(self.slots)
+        self.nslots = len(self.slots)
+        self.steps = [_CompiledStep(step, self.slots) for step in plan.steps]
+
+        # FILTER schedule: each filter runs at the earliest step binding
+        # its variables; filters over OPTIONAL-only variables are left over.
+        if query.filters:
+            from repro.sparql.evaluate import filters_by_step
+            bound: set = set()
+            step_vars = []
+            for step in plan.steps:
+                bound |= set(step.pattern.variables())
+                step_vars.append(set(bound))
+            self.filters_at, self.leftover_filters = \
+                filters_by_step(query, step_vars)
+        else:
+            self.filters_at, self.leftover_filters = None, []
+
+        # UNION branches and OPTIONAL groups are planned with the variables
+        # already bound upstream marked as prebound, exactly as the
+        # uncompiled executor planned them per execution.
+        prebound = set(query.mandatory_variables())
+        self.unions: List[List[List[_CompiledStep]]] = []
+        for union in query.unions:
+            self.unions.append(
+                [[_CompiledStep(step, self.slots)
+                  for step in plan_steps(branch, prebound=prebound)]
+                 for branch in union])
+            prebound |= {var for pattern in union[0]
+                         for var in pattern.variables()}
+        self.optionals: List[List[_CompiledStep]] = []
+        for group in query.optionals:
+            self.optionals.append(
+                [_CompiledStep(step, self.slots)
+                 for step in plan_steps(group, prebound=prebound)])
+            prebound |= {var for pattern in group
+                         for var in pattern.variables()}
+
+        #: Slot index per projected variable (None: never bound -> -1).
+        self.project_slots = [(var, self.slots.get(var))
+                              for var in query.projected()]
+        #: C-speed row -> projected tuple, valid when every projected
+        #: variable has a slot bound in every surviving row (steps and
+        #: unions bind their variables unconditionally; only OPTIONAL
+        #: groups leave variables unbound).
+        proj = [slot for _, slot in self.project_slots]
+        if proj and None not in proj and not query.optionals:
+            getter = itemgetter(*proj)
+            self.project_getter = (lambda row: (getter(row),)) \
+                if len(proj) == 1 else getter
+        else:
+            self.project_getter = None
+
+
+class _RowView:
+    """Dict-like read view of one slot row (for shared FILTER/aggregate
+    evaluation, which addresses rows by variable name)."""
+
+    __slots__ = ("slots", "row")
+
+    def __init__(self, slots: Dict[str, int], row: SlotRow):
+        self.slots = slots
+        self.row = row
+
+    def get(self, var: str, default=None):
+        slot = self.slots.get(var)
+        if slot is None:
+            return default
+        value = self.row[slot]
+        return default if value is None else value
+
+    def __contains__(self, var: str) -> bool:
+        slot = self.slots.get(var)
+        return slot is not None and self.row[slot] is not None
+
+
 class GraphExplorer:
     """Executes plans against pluggable store accesses.
 
@@ -96,6 +218,16 @@ class GraphExplorer:
         self.cost = cluster.cost
         self.strings = strings
 
+    # -- compilation --------------------------------------------------------
+    def _compile(self, plan: ExecutionPlan) -> _CompiledPlan:
+        """The compiled form of ``plan``, cached on the plan itself (the
+        layout is purely structural, so it is explorer-independent)."""
+        compiled = getattr(plan, "_compiled", None)
+        if compiled is None:
+            compiled = _CompiledPlan(plan)
+            plan._compiled = compiled
+        return compiled
+
     # -- public entry points ------------------------------------------------
     def execute(self, plan: ExecutionPlan, access_factory: AccessFactory,
                 meter: LatencyMeter, home_node: int = 0,
@@ -108,7 +240,11 @@ class GraphExplorer:
         """
         if not plan.steps and not plan.query.unions:
             raise PlanError("cannot execute an empty plan")
-        filters_at, leftover_filters = self._filter_schedule(plan)
+        if plan.query.filters and self.strings is None:
+            raise PlanError(
+                "FILTER evaluation needs a string server; construct the "
+                "explorer with GraphExplorer(cluster, strings)")
+        compiled = self._compile(plan)
         if mode == "auto":
             if not self.cluster.fabric.use_rdma \
                     and self.cluster.num_nodes > 1:
@@ -119,112 +255,35 @@ class GraphExplorer:
             else:
                 mode = "in_place"
         if not plan.steps:
-            rows = [{}]  # a pure-UNION WHERE block
+            rows = [[None] * compiled.nslots]  # a pure-UNION WHERE block
         elif mode == "in_place":
-            rows = self._run_steps(plan.steps, access_factory(home_node),
-                                   meter, filters_at=filters_at)
+            rows = self._run_steps(compiled, access_factory(home_node),
+                                   meter)
         elif mode == "fork_join":
-            rows = self._run_fork_join(plan, access_factory, meter,
-                                       home_node, filters_at)
+            rows = self._run_fork_join(compiled, access_factory, meter,
+                                       home_node)
         elif mode == "migrate":
-            rows = self._run_migrate(plan, access_factory, meter, home_node,
-                                     filters_at)
+            rows = self._run_migrate(compiled, access_factory, meter,
+                                     home_node)
         else:
             raise PlanError(f"unknown execution mode: {mode}")
-        if plan.query.unions and rows:
-            rows = self._apply_unions(plan.query, rows,
+        if compiled.unions and rows:
+            rows = self._apply_unions(compiled, rows,
                                       access_factory(home_node), meter)
-        if plan.query.optionals and rows:
-            rows = self._apply_optionals(plan.query, rows,
+        if compiled.optionals and rows:
+            rows = self._apply_optionals(compiled, rows,
                                          access_factory(home_node), meter)
-        if leftover_filters and rows:
+        if compiled.leftover_filters and rows:
             # Filters over OPTIONAL-bound variables run once those resolve
             # (an unmatched OPTIONAL leaves them unbound -> row eliminated).
             from repro.sparql.evaluate import apply_filters
             first_access = access_factory(home_node)(plan.steps[0].pattern)
-            rows = apply_filters(rows, leftover_filters,
-                                 self.strings.entity_name,
-                                 first_access.resolve_entity, meter,
-                                 self.cost, strict=False)
-        return self._project(plan, rows, meter)
-
-    def _filter_schedule(self, plan: ExecutionPlan):
-        """Assign each FILTER to the earliest step binding its variables."""
-        if not plan.query.filters:
-            return None, []
-        if self.strings is None:
-            raise PlanError(
-                "FILTER evaluation needs a string server; construct the "
-                "explorer with GraphExplorer(cluster, strings)")
-        from repro.sparql.evaluate import filters_by_step
-        bound: set = set()
-        step_vars = []
-        for step in plan.steps:
-            bound |= set(step.pattern.variables())
-            step_vars.append(set(bound))
-        return filters_by_step(plan.query, step_vars)
-
-    def _apply_unions(self, query, rows: List[Row],
-                      access_for: AccessResolver,
-                      meter: LatencyMeter) -> List[Row]:
-        """Alternate each UNION: concatenate the branches' extensions.
-
-        Branches bind identical variable sets (the parser enforces it),
-        so downstream joins and projections see uniform rows.
-        """
-        from repro.sparql.planner import plan_steps
-        bound = set(query.mandatory_variables())
-        for union in query.unions:
-            combined: List[Row] = []
-            for branch in union:
-                steps = plan_steps(branch, prebound=bound)
-                for row in rows:
-                    combined.extend(self.explore(steps, access_for, meter,
-                                                 seeds=[row]))
-            rows = combined
-            if not rows:
-                break
-            bound |= {var for pattern in union[0]
-                      for var in pattern.variables()}
-        return rows
-
-    def _apply_optionals(self, query, rows: List[Row],
-                         access_for: AccessResolver,
-                         meter: LatencyMeter) -> List[Row]:
-        """Left-outer-join each OPTIONAL group onto the solution rows.
-
-        Rows the group cannot extend survive with its variables unbound —
-        SPARQL's OPTIONAL semantics.  Optional resolution runs at the home
-        node (seeds are the already-pruned solution set).
-        """
-        from repro.sparql.planner import plan_steps
-        bound = set(query.mandatory_variables())
-        for union in query.unions:
-            bound |= {var for pattern in union[0]
-                      for var in pattern.variables()}
-        for group in query.optionals:
-            steps = plan_steps(group, prebound=bound)
-            extended: List[Row] = []
-            for row in rows:
-                matches = self.explore(steps, access_for, meter,
-                                       seeds=[row])
-                if matches:
-                    extended.extend(matches)
-                else:
-                    extended.append(row)
-            rows = extended
-            bound |= {var for pattern in group
-                      for var in pattern.variables()}
-        return rows
-
-    def _apply_step_filters(self, rows: List[Row], filters,
-                            access: StoreAccess,
-                            meter: LatencyMeter) -> List[Row]:
-        if not filters or not rows:
-            return rows
-        from repro.sparql.evaluate import apply_filters
-        return apply_filters(rows, filters, self.strings.entity_name,
-                             access.resolve_entity, meter, self.cost)
+            views = apply_filters(
+                [_RowView(compiled.slots, row) for row in rows],
+                compiled.leftover_filters, self.strings.entity_name,
+                first_access.resolve_entity, meter, self.cost, strict=False)
+            rows = [view.row for view in views]
+        return self._project(plan, compiled, rows, meter)
 
     def explore(self, steps: Sequence[PlannedStep],
                 access_for: AccessResolver, meter: LatencyMeter,
@@ -233,59 +292,131 @@ class GraphExplorer:
 
         Returns raw binding rows without projection.  Used for embedded
         sub-queries whose seed bindings come from another system (the
-        composite design) and by tests.
+        composite design) and by tests.  Rows are dicts at this boundary;
+        an ad-hoc slot layout is compiled for the given steps.
         """
-        rows: List[Row] = [dict(seed) for seed in seeds] \
-            if seeds is not None else [{}]
+        slots: Dict[str, int] = {}
         for step in steps:
+            for var in step.pattern.variables():
+                if var not in slots:
+                    slots[var] = len(slots)
+        if seeds:
+            for seed in seeds:
+                for var in seed:
+                    if var not in slots:
+                        slots[var] = len(slots)
+        csteps = [_CompiledStep(step, slots) for step in steps]
+        nslots = len(slots)
+        if seeds is not None:
+            rows = []
+            for seed in seeds:
+                row: SlotRow = [None] * nslots
+                for var, vid in seed.items():
+                    row[slots[var]] = vid
+                rows.append(row)
+        else:
+            rows = [[None] * nslots]
+        rows = self._explore_rows(csteps, rows, access_for, meter)
+        return [{var: row[slot] for var, slot in slots.items()
+                 if row[slot] is not None} for row in rows]
+
+    # -- UNION / OPTIONAL ---------------------------------------------------
+    def _apply_unions(self, compiled: _CompiledPlan, rows: List[SlotRow],
+                      access_for: AccessResolver,
+                      meter: LatencyMeter) -> List[SlotRow]:
+        """Alternate each UNION: concatenate the branches' extensions.
+
+        Branches bind identical variable sets (the parser enforces it),
+        so downstream joins and projections see uniform rows.  Each row is
+        explored separately (per-row neighbour caches), preserving the
+        exact lookup charges of the uncompiled executor.
+        """
+        for branches in compiled.unions:
+            combined: List[SlotRow] = []
+            for csteps in branches:
+                for row in rows:
+                    combined.extend(self._explore_rows(
+                        csteps, [row.copy()], access_for, meter))
+            rows = combined
             if not rows:
                 break
-            rows = self._expand(step, rows, access_for(step.pattern), meter)
         return rows
 
+    def _apply_optionals(self, compiled: _CompiledPlan, rows: List[SlotRow],
+                         access_for: AccessResolver,
+                         meter: LatencyMeter) -> List[SlotRow]:
+        """Left-outer-join each OPTIONAL group onto the solution rows.
+
+        Rows the group cannot extend survive with its variables unbound —
+        SPARQL's OPTIONAL semantics.  Optional resolution runs at the home
+        node (seeds are the already-pruned solution set).
+        """
+        for csteps in compiled.optionals:
+            extended: List[SlotRow] = []
+            for row in rows:
+                matches = self._explore_rows(csteps, [row.copy()],
+                                             access_for, meter)
+                if matches:
+                    extended.extend(matches)
+                else:
+                    extended.append(row)
+            rows = extended
+        return rows
+
+    def _apply_step_filters(self, compiled: _CompiledPlan,
+                            rows: List[SlotRow], filters,
+                            access: StoreAccess,
+                            meter: LatencyMeter) -> List[SlotRow]:
+        if not filters or not rows:
+            return rows
+        from repro.sparql.evaluate import apply_filters
+        views = apply_filters([_RowView(compiled.slots, row) for row in rows],
+                              filters, self.strings.entity_name,
+                              access.resolve_entity, meter, self.cost)
+        return [view.row for view in views]
+
     # -- fork-join ----------------------------------------------------------
-    def _run_fork_join(self, plan: ExecutionPlan,
+    def _run_fork_join(self, compiled: _CompiledPlan,
                        access_factory: AccessFactory, meter: LatencyMeter,
-                       home_node: int,
-                       filters_at: Optional[List[List]] = None) -> List[Row]:
+                       home_node: int) -> List[SlotRow]:
         """Distributed execution with explicit fork/gather bookkeeping.
 
         The dataflow is the migrating execution (rows follow the data);
         fork-join adds the per-node dispatch cost and, with RDMA enabled,
         moves every bulk transfer over one-sided verbs instead of TCP.
         """
-        rows = self._run_migrate(plan, access_factory, meter, home_node,
-                                 filters_at)
+        rows = self._run_migrate(compiled, access_factory, meter, home_node)
         meter.charge(self.cost.join_gather_ns, category="gather")
         return rows
 
     # -- migrating execution ---------------------------------------------------
-    def _run_migrate(self, plan: ExecutionPlan,
+    def _run_migrate(self, compiled: _CompiledPlan,
                      access_factory: AccessFactory, meter: LatencyMeter,
-                     home_node: int,
-                     filters_at: Optional[List[List]] = None) -> List[Row]:
+                     home_node: int) -> List[SlotRow]:
         """Distributed execution: rows follow the data in bulk transfers."""
         resolvers: Dict[int, AccessResolver] = {
             node.node_id: access_factory(node.node_id)
             for node in self.cluster.alive_nodes()
         }
-        located: Dict[int, List[Row]] = {home_node: [{}]}
-        for index, step in enumerate(plan.steps):
-            routed = self._route(step, located, resolvers, meter)
+        located: Dict[int, List[SlotRow]] = {
+            home_node: [[None] * compiled.nslots]}
+        for index, cstep in enumerate(compiled.steps):
+            routed = self._route(cstep, located, resolvers, meter)
             if not routed:
                 located = {}
                 break
             branches = []
-            next_located: Dict[int, List[Row]] = {}
+            next_located: Dict[int, List[SlotRow]] = {}
             for node_id, rows in routed.items():
                 branch = meter.spawn()
-                access = resolvers[node_id](step.pattern)
-                out = self._expand(step, rows, access,
+                access = resolvers[node_id](cstep.pattern)
+                out = self._expand(cstep, rows, access,
                                    branch, index_owner=node_id
-                                   if step.kind == INDEX_START else None)
-                if filters_at is not None:
-                    out = self._apply_step_filters(out, filters_at[index],
-                                                   access, branch)
+                                   if cstep.kind == INDEX_START else None)
+                if compiled.filters_at is not None:
+                    out = self._apply_step_filters(
+                        compiled, out, compiled.filters_at[index], access,
+                        branch)
                 if out:
                     next_located[node_id] = out
                 branches.append(branch)
@@ -295,7 +426,7 @@ class GraphExplorer:
                 break
         # Gather partial results back at the home node (parallel sends).
         gather = []
-        all_rows: List[Row] = []
+        all_rows: List[SlotRow] = []
         for node_id, rows in located.items():
             branch = meter.spawn()
             if node_id != home_node and rows:
@@ -306,37 +437,39 @@ class GraphExplorer:
         meter.join_parallel(gather)
         return all_rows
 
-    def _route(self, step: PlannedStep, located: Dict[int, List[Row]],
+    def _route(self, cstep: _CompiledStep,
+               located: Dict[int, List[SlotRow]],
                resolvers: Dict[int, AccessResolver],
-               meter: LatencyMeter) -> Dict[int, List[Row]]:
+               meter: LatencyMeter) -> Dict[int, List[SlotRow]]:
         """Move rows to the owner of the step's start vertex.
 
         Migration messages from different nodes are concurrent; the meter
         is charged with the largest transfer of the round.
         """
-        pattern = step.pattern
         all_rows = [row for rows in located.values() for row in rows]
-        routed: Dict[int, List[Row]] = defaultdict(list)
-        if step.kind == INDEX_START:
+        routed: Dict[int, List[SlotRow]] = defaultdict(list)
+        if cstep.kind == INDEX_START:
             # Broadcast: every node explores its local start vertices.
             # Dispatching the sub-query to each node is the fork cost.
+            # Rows are never mutated in place, so branches can share them.
             meter.charge(self.cost.fork_ns, times=len(resolvers),
                          category="fork")
             for node_id in resolvers:
-                routed[node_id] = [dict(row) for row in all_rows]
-        elif step.kind in (CONST_SUBJECT, CONST_OBJECT):
-            term = pattern.subject if step.kind == CONST_SUBJECT \
-                else pattern.object
+                routed[node_id] = list(all_rows)
+        elif cstep.kind in (CONST_SUBJECT, CONST_OBJECT):
+            term = cstep.subject if cstep.kind == CONST_SUBJECT \
+                else cstep.object
             any_resolver = next(iter(resolvers.values()))
-            vid = any_resolver(pattern).resolve_entity(term)
+            vid = any_resolver(cstep.pattern).resolve_entity(term)
             if vid is None:
                 return {}
             routed[self.cluster.owner_of(vid)] = all_rows
         else:
-            var = pattern.subject if step.kind == BOUND_SUBJECT \
-                else pattern.object
+            slot = cstep.subj_slot if cstep.kind == BOUND_SUBJECT \
+                else cstep.obj_slot
+            owner_of = self.cluster.owner_of
             for row in all_rows:
-                routed[self.cluster.owner_of(row[var])].append(row)
+                routed[owner_of(row[slot])].append(row)
         # Charge the migration round: the largest single transfer that
         # actually crosses nodes (sends proceed in parallel).
         largest = 0
@@ -352,97 +485,122 @@ class GraphExplorer:
         return dict(routed)
 
     # -- core exploration -----------------------------------------------------
-    def _run_steps(self, steps: Sequence[PlannedStep],
+    def _run_steps(self, compiled: _CompiledPlan,
                    access_for: AccessResolver, meter: LatencyMeter,
-                   index_owner: Optional[int] = None,
-                   filters_at: Optional[List[List]] = None) -> List[Row]:
+                   index_owner: Optional[int] = None) -> List[SlotRow]:
         """Run all steps on one node.  ``index_owner`` restricts INDEX_START
         enumeration to vertices owned by that node (fork-join branches)."""
-        rows: List[Row] = [{}]
-        for index, step in enumerate(steps):
-            owner = index_owner if step.kind == INDEX_START else None
-            access = access_for(step.pattern)
-            rows = self._expand(step, rows, access, meter,
+        rows: List[SlotRow] = [[None] * compiled.nslots]
+        for index, cstep in enumerate(compiled.steps):
+            owner = index_owner if cstep.kind == INDEX_START else None
+            access = access_for(cstep.pattern)
+            rows = self._expand(cstep, rows, access, meter,
                                 index_owner=owner)
-            if filters_at is not None:
-                rows = self._apply_step_filters(rows, filters_at[index],
-                                                access, meter)
+            if compiled.filters_at is not None:
+                rows = self._apply_step_filters(
+                    compiled, rows, compiled.filters_at[index], access,
+                    meter)
             if not rows:
                 break
         return rows
 
-    def _expand(self, step: PlannedStep, rows: List[Row],
+    def _explore_rows(self, csteps: Sequence[_CompiledStep],
+                      rows: List[SlotRow], access_for: AccessResolver,
+                      meter: LatencyMeter) -> List[SlotRow]:
+        """Run bare compiled steps over slot rows (no filters/projection)."""
+        for cstep in csteps:
+            if not rows:
+                break
+            rows = self._expand(cstep, rows, access_for(cstep.pattern),
+                                meter)
+        return rows
+
+    def _expand(self, cstep: _CompiledStep, rows: List[SlotRow],
                 access: StoreAccess, meter: LatencyMeter,
-                index_owner: Optional[int] = None) -> List[Row]:
-        pattern = step.pattern
-        eid = access.resolve_predicate(pattern.predicate)
+                index_owner: Optional[int] = None) -> List[SlotRow]:
+        eid = access.resolve_predicate(cstep.predicate)
         if eid is None:
             return []
-
-        if step.kind == CONST_SUBJECT:
-            svid = access.resolve_entity(pattern.subject)
+        kind = cstep.kind
+        if kind == CONST_SUBJECT:
+            svid = access.resolve_entity(cstep.subject)
             if svid is None:
                 return []
             neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
-            return self._bind_side(rows, pattern.object, neighbors, access,
-                                   meter)
-        if step.kind == CONST_OBJECT:
-            ovid = access.resolve_entity(pattern.object)
+            return self._bind_side(rows, cstep.obj_slot, cstep.object,
+                                   neighbors, access, meter)
+        if kind == CONST_OBJECT:
+            ovid = access.resolve_entity(cstep.object)
             if ovid is None:
                 return []
             neighbors = access.neighbors(ovid, eid, DIR_IN, meter)
-            return self._bind_side(rows, pattern.subject, neighbors, access,
-                                   meter)
-        if step.kind == BOUND_SUBJECT:
-            return self._expand_bound(rows, pattern.subject, pattern.object,
-                                      eid, DIR_OUT, access, meter)
-        if step.kind == BOUND_OBJECT:
-            return self._expand_bound(rows, pattern.object, pattern.subject,
-                                      eid, DIR_IN, access, meter)
-        if step.kind == INDEX_START:
-            return self._expand_index(rows, pattern, eid, access, meter,
+            return self._bind_side(rows, cstep.subj_slot, cstep.subject,
+                                   neighbors, access, meter)
+        if kind == BOUND_SUBJECT:
+            return self._expand_bound(rows, cstep.subj_slot, cstep.obj_slot,
+                                      cstep.object, eid, DIR_OUT, access,
+                                      meter)
+        if kind == BOUND_OBJECT:
+            return self._expand_bound(rows, cstep.obj_slot, cstep.subj_slot,
+                                      cstep.subject, eid, DIR_IN, access,
+                                      meter)
+        if kind == INDEX_START:
+            return self._expand_index(rows, cstep, eid, access, meter,
                                       index_owner)
-        raise PlanError(f"unknown step kind: {step.kind}")
+        raise PlanError(f"unknown step kind: {kind}")
 
-    def _bind_side(self, rows: List[Row], term: str, neighbors: List[int],
-                   access: StoreAccess, meter: LatencyMeter) -> List[Row]:
+    def _bind_side(self, rows: List[SlotRow], slot: Optional[int],
+                   term: str, neighbors: List[int], access: StoreAccess,
+                   meter: LatencyMeter) -> List[SlotRow]:
         """Match or bind one side of a pattern against a neighbour list,
-        shared by every input row (the other side was a constant)."""
-        out: List[Row] = []
-        if not is_variable(term):
+        shared by every input row (the other side was a constant).
+
+        One binding charge per produced row, aggregated into a single
+        call — identical totals to charging each binding separately.
+        """
+        if slot is None:  # the term is a constant: match, don't bind
             required = access.resolve_entity(term)
             if required is None or required not in neighbors:
                 return []
             meter.charge(self.cost.binding_ns, times=len(rows),
                          category="explore")
             return list(rows)
+        out: List[SlotRow] = []
+        nset = None  # membership set, built on first bound-variable check
         for row in rows:
-            bound = row.get(term)
+            bound = row[slot]
             if bound is not None:
-                if bound in neighbors:
+                if nset is None:
+                    nset = set(neighbors)
+                if bound in nset:
                     out.append(row)
-                    meter.charge(self.cost.binding_ns, category="explore")
                 continue
             for vid in neighbors:
-                extended = dict(row)
-                extended[term] = vid
+                extended = row.copy()
+                extended[slot] = vid
                 out.append(extended)
-                meter.charge(self.cost.binding_ns, category="explore")
+        if out:
+            meter.charge(self.cost.binding_ns, times=len(out),
+                         category="explore")
         return out
 
-    def _expand_bound(self, rows: List[Row], bound_term: str, other_term: str,
+    def _expand_bound(self, rows: List[SlotRow], bound_slot: int,
+                      other_slot: Optional[int], other_term: str,
                       eid: int, direction: int, access: StoreAccess,
-                      meter: LatencyMeter) -> List[Row]:
+                      meter: LatencyMeter) -> List[SlotRow]:
         """Expand rows through neighbour lookups of an already-bound variable."""
-        out: List[Row] = []
+        out: List[SlotRow] = []
         fetched: Dict[int, List[int]] = {}
+        #: Membership sets, built lazily per start vertex — extend-only
+        #: expansions never pay for them.
+        fetched_sets: Dict[int, set] = {}
         other_const: Optional[int] = None
-        if not is_variable(other_term):
+        if other_slot is None:
             other_const = access.resolve_entity(other_term)
             if other_const is None:
                 return []
         for row in rows:
-            start = row.get(bound_term)
+            start = row[bound_slot]
             if start is None:
                 # The variable is unbound in this row (unmatched OPTIONAL):
                 # the pattern cannot join it.
@@ -452,30 +610,40 @@ class GraphExplorer:
                 neighbors = access.neighbors(start, eid, direction, meter)
                 fetched[start] = neighbors
             if other_const is not None:
-                if other_const in neighbors:
+                nset = fetched_sets.get(start)
+                if nset is None:
+                    nset = fetched_sets[start] = set(neighbors)
+                if other_const in nset:
                     out.append(row)
-                    meter.charge(self.cost.binding_ns, category="explore")
                 continue
-            bound_other = row.get(other_term)
+            bound_other = row[other_slot]
             if bound_other is not None:
-                if bound_other in neighbors:
+                nset = fetched_sets.get(start)
+                if nset is None:
+                    nset = fetched_sets[start] = set(neighbors)
+                if bound_other in nset:
                     out.append(row)
-                    meter.charge(self.cost.binding_ns, category="explore")
                 continue
+            copy = row.copy
+            append = out.append
             for vid in neighbors:
-                extended = dict(row)
-                extended[other_term] = vid
-                out.append(extended)
-                meter.charge(self.cost.binding_ns, category="explore")
+                extended = copy()
+                extended[other_slot] = vid
+                append(extended)
+        if out:
+            meter.charge(self.cost.binding_ns, times=len(out),
+                         category="explore")
         return out
 
-    def _expand_index(self, rows: List[Row], pattern: TriplePattern, eid: int,
-                      access: StoreAccess, meter: LatencyMeter,
-                      index_owner: Optional[int] = None) -> List[Row]:
+    def _expand_index(self, rows: List[SlotRow], cstep: _CompiledStep,
+                      eid: int, access: StoreAccess, meter: LatencyMeter,
+                      index_owner: Optional[int] = None) -> List[SlotRow]:
         """Enumerate subjects from the predicate index, then bind objects.
 
         With ``index_owner``, only start vertices owned by that node are
         expanded — fork-join/migrate branches partition the start set.
+        The per-(row, subject) neighbour lookup is preserved: its charges
+        are part of the calibrated exploration cost.
         """
         if index_owner is not None:
             local_fn = getattr(access, "index_vertices_local", None)
@@ -488,26 +656,31 @@ class GraphExplorer:
                             if self.cluster.owner_of(vid) == index_owner]
         else:
             subjects = access.index_vertices(eid, DIR_OUT, meter)
-        out: List[Row] = []
+        subj_slot = cstep.subj_slot
+        resolved = access.resolve_entity(cstep.subject) \
+            if subj_slot is None else None
+        out: List[SlotRow] = []
         for row in rows:
             for svid in subjects:
-                if is_variable(pattern.subject):
-                    if pattern.subject in row and row[pattern.subject] != svid:
+                if subj_slot is not None:
+                    bound = row[subj_slot]
+                    if bound is not None and bound != svid:
                         continue
-                    seed = dict(row)
-                    seed[pattern.subject] = svid
+                    seed = row.copy()
+                    seed[subj_slot] = svid
                 else:
-                    resolved = access.resolve_entity(pattern.subject)
                     if resolved != svid:
                         continue
-                    seed = dict(row)
+                    seed = row.copy()
                 neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
-                out.extend(self._bind_side([seed], pattern.object, neighbors,
+                out.extend(self._bind_side([seed], cstep.obj_slot,
+                                           cstep.object, neighbors,
                                            access, meter))
         return out
 
     # -- projection ------------------------------------------------------------
-    def _project(self, plan: ExecutionPlan, rows: List[Row],
+    def _project(self, plan: ExecutionPlan, compiled: _CompiledPlan,
+                 rows: List[SlotRow],
                  meter: LatencyMeter) -> ExecutionResult:
         query = plan.query
         if query.is_ask:
@@ -519,18 +692,33 @@ class GraphExplorer:
                     "aggregates need a string server; construct the "
                     "explorer with GraphExplorer(cluster, strings)")
             from repro.sparql.evaluate import aggregate_rows
-            out = aggregate_rows(rows, query, self.strings.entity_name,
+            views = [_RowView(compiled.slots, row) for row in rows]
+            out = aggregate_rows(views, query, self.strings.entity_name,
                                  meter, self.cost)
             return ExecutionResult(variables=query.output_columns(),
                                    rows=_slice(out, query))
-        variables = query.projected()
-        result = ExecutionResult(variables=variables)
+        result = ExecutionResult(
+            variables=[var for var, _ in compiled.project_slots])
         seen = set()
-        for row in rows:
-            projected = tuple(row.get(var, -1) for var in variables)
-            if projected not in seen:
-                seen.add(projected)
-                result.rows.append(projected)
+        out = result.rows
+        getter = compiled.project_getter
+        if getter is not None:
+            add = seen.add
+            append = out.append
+            for row in rows:
+                projected = getter(row)
+                if projected not in seen:
+                    add(projected)
+                    append(projected)
+        else:
+            slots = [slot for _, slot in compiled.project_slots]
+            for row in rows:
+                projected = tuple(
+                    -1 if slot is None or row[slot] is None else row[slot]
+                    for slot in slots)
+                if projected not in seen:
+                    seen.add(projected)
+                    out.append(projected)
         meter.charge(self.cost.binding_ns, times=len(result.rows),
                      category="project")
         result.rows = _slice(result.rows, query)

@@ -38,7 +38,7 @@ from repro.sim.cost import CostModel, LatencyMeter, MemoryModel
 BASE_SN = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValueSpan:
     """A contiguous window of one key's value list: ``[offset, offset+length)``."""
 
@@ -89,8 +89,8 @@ class _ValueList:
     def compact(self, bound_sn: int) -> None:
         """Relabel entries with SN <= ``bound_sn`` into the base snapshot."""
         cut = bisect_right(self.sns, bound_sn)
-        for i in range(cut):
-            self.sns[i] = BASE_SN
+        if cut and self.sns[cut - 1] != BASE_SN:
+            self.sns[:cut] = [BASE_SN] * cut
 
 
 class ShardStore:
@@ -101,6 +101,10 @@ class ShardStore:
         self._values: Dict[Key, _ValueList] = {}
         self._index: Dict[Tuple[int, int], List[int]] = {}
         self._index_members: Dict[Tuple[int, int], Set[int]] = {}
+        #: Keys holding at least one non-base SN (SNs are non-decreasing,
+        #: so this is exactly ``sns[-1] != BASE_SN``).  Compaction — a
+        #: charge-free bookkeeping pass — only needs to visit these.
+        self._versioned: Set[Key] = set()
 
     # -- writes ---------------------------------------------------------
     def insert(self, key: Key, vid: int, sn: int = BASE_SN,
@@ -117,6 +121,8 @@ class ShardStore:
             if meter is not None:
                 meter.charge(self.cost.create_key_ns, category="insert")
         offset = values.append(vid, sn)
+        if sn != BASE_SN:
+            self._versioned.add(key)
         if meter is not None:
             meter.charge(self.cost.insert_entry_ns, category="insert")
         return ValueSpan(key, offset, 1)
@@ -143,14 +149,27 @@ class ShardStore:
     def compact(self, bound_sn: int) -> int:
         """Bounded scalarization: fold SNs <= ``bound_sn`` into the base.
 
-        Returns how many keys were touched.
+        Returns how many keys were touched.  Only keys holding non-base
+        SNs can change (all-base lists are fixpoints), so only
+        ``_versioned`` keys are visited.  A key's distinct-segment count
+        changes exactly when the relabelled prefix held more than one
+        distinct SN — with non-decreasing SNs that is an O(1)
+        first-vs-last check, preserving the original return value.
         """
         touched = 0
-        for values in self._values.values():
-            before = values.distinct_sns()
-            values.compact(bound_sn)
-            if values.distinct_sns() != before:
+        settled = []
+        for key in self._versioned:
+            sns = self._values[key].sns
+            cut = bisect_right(sns, bound_sn)
+            if cut == 0:
+                continue
+            if sns[0] != sns[cut - 1]:
                 touched += 1
+            if sns[cut - 1] != BASE_SN:
+                sns[:cut] = [BASE_SN] * cut
+            if cut == len(sns):
+                settled.append(key)
+        self._versioned.difference_update(settled)
         return touched
 
     # -- reads ------------------------------------------------------------

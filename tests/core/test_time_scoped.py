@@ -81,3 +81,32 @@ def test_collected_history_raises():
     # Recent history is still there.
     record = engine.oneshot_time_scoped(TIME_QUERY, 8_000, 10_000)
     assert names(engine, record.result.rows) == [("Logan", "T-17")]
+
+
+def test_scope_starting_exactly_at_gc_frontier_succeeds():
+    # A scope whose first batch equals ``collected_before`` reads the
+    # oldest retained batch: the boundary itself is still queryable.
+    engine = build_engine(gc_every_ticks=1, gc_retention_ms=2_000)
+    engine.run_until(10_000)
+    cfg = engine.config
+    frontier = engine.registry.index("Tweet_Stream").collected_before
+    assert frontier > 1  # GC must actually have collected something
+    start_ms = cfg.stream_start_ms + (frontier - 1) * cfg.batch_interval_ms
+    record = engine.oneshot_time_scoped(
+        TIME_QUERY, start_ms, start_ms + cfg.batch_interval_ms)
+    assert record.result.rows is not None  # executed without StoreError
+
+
+def test_scope_one_batch_below_gc_frontier_raises():
+    # Shifting the scope down a single batch crosses the GC frontier and
+    # must fail loudly instead of silently returning partial history.
+    engine = build_engine(gc_every_ticks=1, gc_retention_ms=2_000)
+    engine.run_until(10_000)
+    cfg = engine.config
+    frontier = engine.registry.index("Tweet_Stream").collected_before
+    assert frontier > 1
+    boundary_ms = cfg.stream_start_ms + (frontier - 1) * cfg.batch_interval_ms
+    with pytest.raises(StoreError, match="garbage-collected"):
+        engine.oneshot_time_scoped(
+            TIME_QUERY, boundary_ms - cfg.batch_interval_ms,
+            boundary_ms + cfg.batch_interval_ms)
