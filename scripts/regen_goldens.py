@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) every golden file in the test suite.
+
+Two goldens exist today:
+
+* ``tests/core/golden_determinism.json`` — simulated latencies and cost
+  breakdowns of the determinism workload (exact float equality);
+* ``tests/chaos/golden_chaos.json`` — the chaos chronicle, gap ledger and
+  result/state fingerprints of the hand-written multi-fault plan.
+
+``--check`` recomputes both without writing and exits 1 on any drift —
+run_checks.sh uses it to catch semantics changes that were not
+accompanied by a deliberate golden regeneration.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "tests"))
+
+
+def _goldens():
+    from chaos.chaos_workload import (GOLDEN_CHAOS_PATH, TICKS,
+                                      build_engine, golden_plan)
+    from core.determinism_workload import GOLDEN_PATH, run_workload
+    from repro.chaos import chaos_run_facts
+
+    yield ("determinism", GOLDEN_PATH, run_workload)
+    yield ("chaos", GOLDEN_CHAOS_PATH,
+           lambda: chaos_run_facts(build_engine, golden_plan(), TICKS))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify the goldens instead of rewriting them")
+    args = parser.parse_args()
+
+    drifted = 0
+    for name, path, compute in _goldens():
+        # Round-trip through JSON so recorded and recomputed facts share
+        # one representation (tuples become lists, keys become strings).
+        facts = json.loads(json.dumps(compute(), sort_keys=True))
+        if args.check:
+            if not os.path.exists(path):
+                print(f"[{name}] MISSING: {path}")
+                drifted += 1
+                continue
+            with open(path) as handle:
+                recorded = json.load(handle)
+            if recorded == facts:
+                print(f"[{name}] ok: {path}")
+            else:
+                print(f"[{name}] DRIFT: recomputed facts differ from "
+                      f"{path}; regenerate with scripts/regen_goldens.py "
+                      f"if the change is intended")
+                drifted += 1
+        else:
+            with open(path, "w") as handle:
+                json.dump(facts, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"[{name}] wrote {path}")
+    return 1 if drifted else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

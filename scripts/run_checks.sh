@@ -1,6 +1,11 @@
 #!/bin/sh
 # Tier-1 gate: the full test suite plus a quick wall-clock benchmark.
 #
+# The suite is split so the fast tier stays fast: the chaos suite
+# (fault-injection equivalence, ~seconds but the slowest block) is marked
+# `chaos` and run separately, followed by a drift check of the golden
+# files (scripts/regen_goldens.py --check).
+#
 # The benchmark runs in --quick mode (shorter scenarios, fewer repeats)
 # and writes BENCH_wallclock.json at the repo root; compare speedup_vs_seed
 # there against the recorded seed baselines.  Use
@@ -8,8 +13,14 @@
 set -e
 cd "$(dirname "$0")/.."
 
-echo "== tier-1 tests =="
-PYTHONPATH=src python -m pytest -x -q
+echo "== tier-1 tests (fast tier) =="
+PYTHONPATH=src python -m pytest -x -q -m "not chaos"
+
+echo "== chaos suite (fault injection + recovery equivalence) =="
+PYTHONPATH=src python -m pytest -x -q -m chaos
+
+echo "== golden drift check =="
+python scripts/regen_goldens.py --check
 
 echo "== wall-clock benchmark (quick) =="
 PYTHONPATH=src python benchmarks/bench_wallclock.py --quick

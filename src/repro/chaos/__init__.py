@@ -1,0 +1,27 @@
+"""Deterministic chaos: scheduled fault injection for the simulated engine.
+
+The chaos harness drives the fault-tolerance machinery of §5 under
+adversarial timing, deterministically: a :class:`~repro.chaos.plan.FaultPlan`
+schedules node kills (optionally mid-batch), in-flight message delays and
+drops, server stragglers and log-record corruption at exact simulated
+ticks, and a :class:`~repro.chaos.controller.ChaosController` applies them
+through hooks in the engine.  Because every choice flows from the seeded
+RNG and every effect lands at a scheduled simulated time, a chaos run is
+exactly reproducible — and comparable, bit for bit, against a never-faulted
+replay of the same workload (:mod:`repro.chaos.harness`).
+"""
+
+from repro.chaos.controller import ChaosController, ChaosEvent
+from repro.chaos.harness import (EquivalenceReport, chaos_run_facts,
+                                 run_equivalence)
+from repro.chaos.plan import (CorruptRecord, DelayMessage, DropMessage,
+                              FaultPlan, KillNode, Straggler,
+                              random_fault_plan)
+from repro.chaos.state import digest_sha256, engine_state_digest
+
+__all__ = [
+    "ChaosController", "ChaosEvent", "CorruptRecord", "DelayMessage",
+    "DropMessage", "EquivalenceReport", "FaultPlan", "KillNode",
+    "Straggler", "chaos_run_facts", "digest_sha256",
+    "engine_state_digest", "random_fault_plan", "run_equivalence",
+]

@@ -1,0 +1,250 @@
+"""The FaultPlan DSL: what goes wrong, where, and exactly when.
+
+A fault plan is data, not code: a list of small declarative fault records
+("kill node 1 at tick 12, mid-batch, for 4 ticks", "hold Like_Stream batch
+#17 in flight for 3 ticks") that the
+:class:`~repro.chaos.controller.ChaosController` executes against a running
+engine.  Ticks count :meth:`~repro.core.engine.WukongSEngine.step` calls
+(the first step is tick 1), so a plan is positioned on the simulated
+timeline independent of the batch interval.
+
+:func:`random_fault_plan` draws a plan from the seeded deterministic RNG
+(:func:`~repro.sim.rng.stable_rng`, stable across processes) with the seed
+choosing the primary fault kind — ``seed % 4`` cycles kill / message
+(delay or drop) / straggler / corrupt-then-kill — so any 4k consecutive
+seeds cover every fault type.  Generated plans respect the constraints
+that make recovery equivalence provable:
+
+* every fault heals well before the run ends, leaving room for catch-up;
+* a corrupted log record is paired with a *later* kill of the same node in
+  the same checkpoint-grid window (no checkpoint may ack — and trim — the
+  upstream backup between corruption and recovery, or the record would be
+  unrebuildable and recovery would fail, correctly but uninterestingly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import ChaosError
+from repro.sim.rng import stable_rng
+
+
+@dataclass(frozen=True)
+class KillNode:
+    """Crash ``node_id`` at ``at_tick``; recover it ``down_ticks`` later.
+
+    ``after_batches`` > 0 arms a *mid-tick* kill: the node dies between
+    batch injections, after that many batches were admitted this tick —
+    the nastiest spot, with the tick's work half done.
+    """
+
+    at_tick: int
+    node_id: int
+    down_ticks: int
+    after_batches: int = 0
+
+    @property
+    def recover_tick(self) -> int:
+        return self.at_tick + self.down_ticks
+
+
+@dataclass(frozen=True)
+class DelayMessage:
+    """Hold stream batch ``batch_no`` in flight for ``hold_ticks`` ticks.
+
+    The batch is intercepted when the source hands it to the engine and
+    released — in batch order — once the hold expires.
+    """
+
+    stream: str
+    batch_no: int
+    hold_ticks: int
+
+
+@dataclass(frozen=True)
+class DropMessage:
+    """Lose stream batch ``batch_no`` in flight; the loss is detected
+    ``detect_ticks`` ticks later and the batch re-fetched from the
+    source's upstream-backup buffer (priced as a replay transfer)."""
+
+    stream: str
+    batch_no: int
+    detect_ticks: int
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Multiply ``node_id``'s injection cost by ``factor`` for a while.
+
+    A straggler perturbs simulated *injection* latency only — results and
+    state stay bit-identical, which the equivalence harness checks.
+    """
+
+    at_tick: int
+    node_id: int
+    factor: float
+    duration_ticks: int
+
+    @property
+    def end_tick(self) -> int:
+        return self.at_tick + self.duration_ticks
+
+
+@dataclass(frozen=True)
+class CorruptRecord:
+    """Flip bits in ``node_id``'s newest un-acked durable log record.
+
+    Invisible until that node's log is replayed: pair it with a later
+    :class:`KillNode` of the same node so recovery detects the bad CRC,
+    rejects the record and rebuilds it from upstream backup.
+    """
+
+    at_tick: int
+    node_id: int
+
+
+Fault = Union[KillNode, DelayMessage, DropMessage, Straggler, CorruptRecord]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of scheduled faults plus its provenance."""
+
+    faults: List[Fault] = field(default_factory=list)
+    name: str = ""
+    seed: int = -1
+
+    @property
+    def has_straggler(self) -> bool:
+        return any(isinstance(f, Straggler) for f in self.faults)
+
+    @property
+    def kinds(self) -> List[str]:
+        return sorted({type(f).__name__ for f in self.faults})
+
+    def describe(self) -> List[dict]:
+        """JSON-safe dump of the plan (golden files, debugging output)."""
+        out = []
+        for fault in self.faults:
+            entry = {"kind": type(fault).__name__}
+            entry.update({k: getattr(fault, k)
+                          for k in fault.__dataclass_fields__})
+            out.append(entry)
+        return out
+
+    def validate(self, num_nodes: int, streams: Sequence[str],
+                 ticks: int, ticks_per_checkpoint: int = 10) -> None:
+        """Reject malformed or unprovable plans with :class:`ChaosError`."""
+        kills: List[KillNode] = []
+        for fault in self.faults:
+            if isinstance(fault, (KillNode, Straggler, CorruptRecord)):
+                if not 0 <= fault.node_id < num_nodes:
+                    raise ChaosError(
+                        f"{type(fault).__name__} targets node "
+                        f"{fault.node_id}; cluster has {num_nodes}")
+                if fault.at_tick < 1:
+                    raise ChaosError(f"faults fire from tick 1: {fault}")
+            if isinstance(fault, (DelayMessage, DropMessage)):
+                if fault.stream not in streams:
+                    raise ChaosError(
+                        f"{type(fault).__name__} targets unknown stream "
+                        f"{fault.stream!r}")
+                if fault.batch_no < 1:
+                    raise ChaosError(f"batch numbers start at 1: {fault}")
+            if isinstance(fault, KillNode):
+                if fault.down_ticks < 1 or fault.after_batches < 0:
+                    raise ChaosError(f"malformed kill: {fault}")
+                if fault.recover_tick >= ticks - 1:
+                    raise ChaosError(
+                        f"kill must heal before the run ends (tick "
+                        f"{fault.recover_tick} vs {ticks} ticks): {fault}")
+                kills.append(fault)
+            if isinstance(fault, DelayMessage) and fault.hold_ticks < 1:
+                raise ChaosError(f"malformed delay: {fault}")
+            if isinstance(fault, DropMessage) and fault.detect_ticks < 1:
+                raise ChaosError(f"malformed drop: {fault}")
+            if isinstance(fault, Straggler) and \
+                    (fault.factor <= 1.0 or fault.duration_ticks < 1):
+                raise ChaosError(f"malformed straggler: {fault}")
+        for a in kills:
+            for b in kills:
+                if a is not b and a.at_tick <= b.at_tick < a.recover_tick:
+                    raise ChaosError(
+                        f"overlapping kills of nodes {a.node_id} and "
+                        f"{b.node_id}: recovery replays against a stalled "
+                        f"plan one node at a time")
+        tpc = ticks_per_checkpoint
+        for fault in self.faults:
+            if not isinstance(fault, CorruptRecord):
+                continue
+            paired = [k for k in kills
+                      if k.node_id == fault.node_id
+                      and k.at_tick > fault.at_tick]
+            if not paired:
+                raise ChaosError(
+                    f"corrupt record on node {fault.node_id} needs a later "
+                    f"kill of that node (corruption is only observed when "
+                    f"the log is replayed)")
+            kill = min(paired, key=lambda k: k.at_tick)
+            c, k = fault.at_tick, kill.at_tick
+            if c % tpc == 0 or (k - 1) // tpc != (c - 1) // tpc:
+                raise ChaosError(
+                    f"a checkpoint between corruption (tick {c}) and the "
+                    f"kill (tick {k}) would ack and trim the upstream "
+                    f"backup of the corrupted batch; keep both inside one "
+                    f"{tpc}-tick checkpoint window")
+
+
+def random_fault_plan(seed: int, ticks: int, num_nodes: int,
+                      streams: Sequence[str],
+                      ticks_per_checkpoint: int = 10) -> FaultPlan:
+    """Draw one deterministic fault plan for a ``ticks``-tick run.
+
+    ``seed % 4`` selects the primary fault kind (0 kill, 1 message delay
+    or drop, 2 straggler, 3 corrupt-then-kill); every other choice comes
+    from :func:`~repro.sim.rng.stable_rng`, so the same seed always yields
+    the same plan, in any process.
+    """
+    if ticks < 4 * ticks_per_checkpoint:
+        raise ChaosError(
+            f"need >= {4 * ticks_per_checkpoint} ticks for a meaningful "
+            f"plan: {ticks}")
+    rng = stable_rng(seed, "fault-plan", ticks, num_nodes, *streams)
+    kind = seed % 4
+    faults: List[Fault] = []
+    if kind == 0:
+        at = rng.randrange(5, ticks - 12)
+        faults.append(KillNode(
+            at_tick=at, node_id=rng.randrange(num_nodes),
+            down_ticks=rng.randrange(2, 7),
+            after_batches=rng.choice((0, 0, 1, 2))))
+    elif kind == 1:
+        stream = streams[rng.randrange(len(streams))]
+        batch_no = rng.randrange(5, ticks - 10)
+        if (seed // 4) % 2 == 0:
+            faults.append(DelayMessage(stream=stream, batch_no=batch_no,
+                                       hold_ticks=rng.randrange(1, 5)))
+        else:
+            faults.append(DropMessage(stream=stream, batch_no=batch_no,
+                                      detect_ticks=rng.randrange(1, 5)))
+    elif kind == 2:
+        faults.append(Straggler(
+            at_tick=rng.randrange(5, ticks - 12),
+            node_id=rng.randrange(num_nodes),
+            factor=1.5 + rng.randrange(0, 26) / 10.0,
+            duration_ticks=rng.randrange(3, 10)))
+    else:
+        tpc = ticks_per_checkpoint
+        window = rng.randrange(1, (ticks - 12) // tpc)
+        corrupt_tick = window * tpc + rng.randrange(2, tpc - 4)
+        kill_tick = rng.randrange(corrupt_tick + 1, (window + 1) * tpc)
+        node_id = rng.randrange(num_nodes)
+        faults.append(CorruptRecord(at_tick=corrupt_tick, node_id=node_id))
+        faults.append(KillNode(at_tick=kill_tick, node_id=node_id,
+                               down_ticks=rng.randrange(2, 6)))
+    plan = FaultPlan(faults=faults, name=f"seed{seed}", seed=seed)
+    plan.validate(num_nodes, streams, ticks,
+                  ticks_per_checkpoint=ticks_per_checkpoint)
+    return plan

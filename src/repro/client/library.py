@@ -51,6 +51,7 @@ class ClientSubscription:
     procedure: StoredProcedure
     handle: RegisteredQuery
     _delivered: int = 0
+    _gaps_delivered: int = 0
 
     def poll(self) -> List[ClientResult]:
         """Decode executions completed since the last poll."""
@@ -62,6 +63,19 @@ class ClientSubscription:
                 self.procedure, record.result, record.meter,
                 self.library.engine.coordinator.stable_sn))
         return out
+
+    def poll_gaps(self) -> List:
+        """Gap markers noted since the last call (graceful degradation).
+
+        While the cluster is degraded the engine reports each missed
+        window close as a :class:`~repro.core.continuous.GapMarker`
+        instead of silently skipping it; the marker's ``resolved_ms`` is
+        filled in (on the same object) once recovery catches up and the
+        late execution is delivered through :meth:`poll`.
+        """
+        new = self.handle.gaps[self._gaps_delivered:]
+        self._gaps_delivered = len(self.handle.gaps)
+        return list(new)
 
     @property
     def name(self) -> str:

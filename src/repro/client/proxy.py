@@ -6,6 +6,17 @@ client-side library and balance client requests" (§3).  A
 proxies spread them across server nodes), so a massive client population
 never funnels through one node.  Each proxy shares one procedure cache
 across all the clients it fronts — the multiplexing benefit of proxies.
+
+Robustness semantics (§5's client-visible side): a request against a
+degraded cluster is *not* executed — a dead node's shard is empty, so the
+answer would be silently partial.  Instead the request times out (a
+per-request budget in simulated ns), and the proxy retries it with bounded
+exponential backoff and full jitter drawn from the seeded deterministic
+RNG.  Once the cluster heals — e.g. after ``recover_node`` replays the
+durable log — the retry succeeds and the client sees the complete answer,
+with the waiting time folded into its client-side latency.  Requests that
+exhaust their attempt budget fail explicitly with
+:class:`~repro.errors.ProxyTimeoutError`, never silently.
 """
 
 from __future__ import annotations
@@ -16,6 +27,54 @@ from typing import Dict, List, Optional
 from repro.client.library import ClientLibrary, ClientResult, \
     ClientSubscription
 from repro.core.engine import WukongSEngine
+from repro.errors import ProxyTimeoutError
+from repro.sim.rng import stable_rng
+
+
+@dataclass
+class RetryPolicy:
+    """Timeout/backoff tunables of one proxy (simulated nanoseconds)."""
+
+    #: Per-attempt budget before the request is declared timed out.
+    timeout_ns: float = 2_000_000.0
+    #: First backoff; doubles each attempt (bounded exponential).
+    backoff_base_ns: float = 250_000.0
+    #: Backoff ceiling.
+    backoff_cap_ns: float = 8_000_000.0
+    #: Attempts before giving up (the first submission counts as one).
+    max_attempts: int = 64
+
+    def backoff_ns(self, attempt: int, rng) -> float:
+        """Jittered backoff before attempt ``attempt + 1`` (full jitter:
+        uniform in [cap/2, cap], from the seeded RNG only)."""
+        cap = min(self.backoff_cap_ns,
+                  self.backoff_base_ns * (2 ** max(0, attempt - 1)))
+        return cap * (0.5 + 0.5 * rng.random())
+
+
+@dataclass
+class PendingRequest:
+    """One client request being retried against a degraded cluster."""
+
+    text: str
+    submitted_ms: float
+    attempts: int = 0
+    #: Simulated ns spent waiting so far (timeouts + backoffs).
+    waited_ns: float = 0.0
+    #: Backoff durations drawn so far (ns), for observability.
+    backoffs_ns: List[float] = field(default_factory=list)
+    #: Simulated time before which no retry fires.
+    next_attempt_ms: float = 0.0
+    result: Optional[ClientResult] = None
+    failed: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None or self.failed
+
+    @property
+    def waited_ms(self) -> float:
+        return self.waited_ns / 1e6
 
 
 @dataclass
@@ -24,20 +83,32 @@ class ProxyStats:
 
     oneshot_requests: int = 0
     registrations: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    failures: int = 0
 
 
 class Proxy:
     """One proxy: a shared client library pinned near one server node."""
 
     def __init__(self, engine: WukongSEngine, proxy_id: int,
-                 affinity_node: int):
+                 affinity_node: int, policy: Optional[RetryPolicy] = None,
+                 seed: int = 0):
         self.proxy_id = proxy_id
         self.affinity_node = affinity_node
         self.library = ClientLibrary(engine, client_id=f"proxy{proxy_id}",
                                      include_network=True)
+        self.policy = policy if policy is not None else RetryPolicy()
         self.stats = ProxyStats()
+        self.pending: List[PendingRequest] = []
+        self._rng = stable_rng(seed, "proxy-retry", proxy_id)
+
+    @property
+    def engine(self) -> WukongSEngine:
+        return self.library.engine
 
     def submit(self, text: str) -> ClientResult:
+        """Fire-and-hope submission (healthy-path API, unchanged)."""
         self.stats.oneshot_requests += 1
         return self.library.submit(text, home_node=self.affinity_node)
 
@@ -47,11 +118,86 @@ class Proxy:
         # decides the home node, not the proxy.
         return self.library.register(text, home_node=None)
 
+    # -- robust submission ---------------------------------------------------
+    def _cluster_serving(self) -> bool:
+        return self.engine.cluster.all_alive
+
+    def submit_robust(self, text: str) -> PendingRequest:
+        """Submit with timeout/retry semantics.
+
+        Against a healthy cluster this is one immediate attempt.  Against
+        a degraded cluster the request times out, is queued, and retried
+        by :meth:`pump` on the backoff schedule until the cluster heals or
+        the attempt budget runs out.
+        """
+        now_ms = self.engine.clock.now_ms
+        request = PendingRequest(text=text, submitted_ms=now_ms)
+        if self._cluster_serving():
+            request.attempts = 1
+            request.result = self.submit(text)
+            return request
+        self._note_timeout(request)
+        self.pending.append(request)
+        return request
+
+    def _note_timeout(self, request: PendingRequest) -> None:
+        """One attempt timed out: draw the next jittered backoff."""
+        request.attempts += 1
+        self.stats.timeouts += 1
+        backoff = self.policy.backoff_ns(request.attempts, self._rng)
+        request.backoffs_ns.append(backoff)
+        request.waited_ns += self.policy.timeout_ns + backoff
+        request.next_attempt_ms = request.submitted_ms + request.waited_ms
+
+    def pump(self) -> List[PendingRequest]:
+        """Retry due pending requests; returns the ones that completed.
+
+        Call once per simulated tick (the engine does not call this; the
+        proxy is client-side).  A retry against a still-degraded cluster
+        times out again and backs off further; against a healed cluster it
+        executes, and the accumulated waiting time is folded into the
+        result's client-visible latency.
+        """
+        now_ms = self.engine.clock.now_ms
+        finished: List[PendingRequest] = []
+        for request in self.pending:
+            while not request.done and request.next_attempt_ms <= now_ms:
+                if self._cluster_serving():
+                    self.stats.retries += 1
+                    request.attempts += 1  # the attempt that succeeds
+                    result = self.submit(request.text)
+                    result.client_latency_ms += request.waited_ms
+                    request.result = result
+                elif request.attempts >= self.policy.max_attempts:
+                    request.failed = True
+                    self.stats.failures += 1
+                else:
+                    self.stats.retries += 1
+                    self._note_timeout(request)
+            if request.done:
+                finished.append(request)
+        self.pending = [r for r in self.pending if not r.done]
+        return finished
+
+    def wait_for(self, request: PendingRequest) -> ClientResult:
+        """The request's result; raises if it (has) failed."""
+        if request.failed:
+            raise ProxyTimeoutError(
+                f"request gave up after {request.attempts} attempts "
+                f"({request.waited_ms:.3f} ms waited): {request.text!r}")
+        if request.result is None:
+            raise ProxyTimeoutError(
+                f"request still pending after {request.attempts} attempts; "
+                f"pump() the proxy as simulated time advances")
+        return request.result
+
 
 class ProxyPool:
     """Round-robin load balancing over a set of proxies."""
 
-    def __init__(self, engine: WukongSEngine, num_proxies: Optional[int] = None):
+    def __init__(self, engine: WukongSEngine,
+                 num_proxies: Optional[int] = None,
+                 policy: Optional[RetryPolicy] = None, seed: int = 0):
         if num_proxies is None:
             num_proxies = engine.cluster.num_nodes
         if num_proxies < 1:
@@ -59,7 +205,8 @@ class ProxyPool:
         self.engine = engine
         self.proxies: List[Proxy] = [
             Proxy(engine, proxy_id=i,
-                  affinity_node=i % engine.cluster.num_nodes)
+                  affinity_node=i % engine.cluster.num_nodes,
+                  policy=policy, seed=seed)
             for i in range(num_proxies)
         ]
         self._next = 0
@@ -73,9 +220,20 @@ class ProxyPool:
         """Route a one-shot query through the next proxy."""
         return self._pick().submit(text)
 
+    def submit_robust(self, text: str) -> PendingRequest:
+        """Route a one-shot query with timeout/retry semantics."""
+        return self._pick().submit_robust(text)
+
     def register(self, text: str) -> ClientSubscription:
         """Register a continuous query through the next proxy."""
         return self._pick().register(text)
+
+    def pump(self) -> List[PendingRequest]:
+        """Drive every proxy's retry queue; returns completed requests."""
+        finished: List[PendingRequest] = []
+        for proxy in self.proxies:
+            finished.extend(proxy.pump())
+        return finished
 
     # -- observability ----------------------------------------------------
     def request_counts(self) -> Dict[int, int]:
@@ -85,3 +243,7 @@ class ProxyPool:
     @property
     def total_requests(self) -> int:
         return sum(p.stats.oneshot_requests for p in self.proxies)
+
+    @property
+    def total_pending(self) -> int:
+        return sum(len(p.pending) for p in self.proxies)

@@ -17,17 +17,40 @@ are kept in the engine's durable registration log).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.dispatcher import NodeBatch
-from repro.errors import FaultToleranceError
+from repro.errors import FaultToleranceError, StreamError
 from repro.sim.cost import CostModel, LatencyMeter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.coordinator import Coordinator
     from repro.core.engine import WukongSEngine
     from repro.streams.source import StreamSource
+
+
+def batch_checksum(node_batch: NodeBatch) -> int:
+    """CRC32 over a node batch's content (its durable-log checksum).
+
+    Computed over the encoded integer triples and timestamps (never
+    ``hash()``, whose string mixing is randomized per process), so the
+    value is a pure function of the batch content and reproducible across
+    runs — which is what lets recovery detect a corrupted log record.
+    """
+    crc = zlib.crc32(node_batch.stream.encode())
+    crc = zlib.crc32(b"#%d@%d" % (node_batch.batch_no, node_batch.node_id),
+                     crc)
+    for group in (node_batch.out_timeless, node_batch.in_timeless,
+                  node_batch.out_timing, node_batch.in_timing):
+        crc = zlib.crc32(b"|", crc)
+        for encoded in group:
+            triple = encoded.triple
+            crc = zlib.crc32(
+                b"%d,%d,%d,%d;" % (triple.s, triple.p, triple.o,
+                                   encoded.timestamp_ms), crc)
+    return crc
 
 
 @dataclass
@@ -38,6 +61,9 @@ class LoggedBatch:
     node_id: int
     sn: int
     node_batch: NodeBatch
+    #: Content CRC written with the record; ``None`` for records produced
+    #: before checksumming existed (treated as trusted).
+    checksum: Optional[int] = None
 
 
 @dataclass
@@ -65,6 +91,8 @@ class CheckpointManager:
         self._log: List[LoggedBatch] = []
         self._markers: List[CheckpointMarker] = []
         self._last_checkpoint_ms: Optional[int] = None
+        #: Interval-grid cell of the last checkpoint (``now // interval``).
+        self._last_cell: Optional[int] = None
         self.logging_delays_ms: List[float] = []
         self._entries_since_checkpoint = 0
         #: Duration of the most recent checkpoint (stalls co-scheduled
@@ -83,17 +111,28 @@ class CheckpointManager:
             meter.add(delay)
         self._log.append(LoggedBatch(
             sequence=len(self._log), node_id=node_id, sn=sn,
-            node_batch=node_batch))
+            node_batch=node_batch, checksum=batch_checksum(node_batch)))
         self._entries_since_checkpoint += node_batch.num_inserts
 
     # -- checkpoints ------------------------------------------------------
     def maybe_checkpoint(self, now_ms: int, coordinator: "Coordinator",
                          sources: Dict[str, "StreamSource"]) -> bool:
-        """Checkpoint if the interval elapsed; returns whether one ran."""
-        if self._last_checkpoint_ms is None:
+        """Checkpoint when the interval grid is crossed; returns whether
+        one ran.
+
+        The schedule is *grid-aligned* (a checkpoint fires when
+        ``now // interval`` exceeds the last checkpoint's cell) rather
+        than elapsed-interval based: an engine that skipped checkpoints
+        while degraded re-joins the exact schedule of a never-faulted run
+        at the next grid boundary, which is what bounds the window in
+        which recovery perturbs checkpoint-pause charges.
+        """
+        cell = now_ms // self.interval_ms
+        if self._last_cell is None:
+            self._last_cell = cell
             self._last_checkpoint_ms = now_ms
             return False
-        if now_ms - self._last_checkpoint_ms < self.interval_ms:
+        if cell <= self._last_cell:
             return False
         self.checkpoint(now_ms, coordinator, sources)
         return True
@@ -106,6 +145,7 @@ class CheckpointManager:
                                   stable_sn=coordinator.stable_sn)
         self._markers.append(marker)
         self._last_checkpoint_ms = now_ms
+        self._last_cell = now_ms // self.interval_ms
         # Incremental checkpoint: persist everything logged since the last
         # marker.  Nodes write their local logs in parallel; queries
         # scheduled during the write observe one node's write time.
@@ -138,12 +178,70 @@ class CheckpointManager:
         return sum(self.logging_delays_ms) / len(self.logging_delays_ms)
 
 
-def recover_node(engine: "WukongSEngine", node_id: int) -> None:
+@dataclass
+class RecoveryReport:
+    """What one :func:`recover_node` run did, with its simulated cost."""
+
+    node_id: int
+    reloaded_triples: int = 0
+    replayed_entries: int = 0
+    rejected_entries: int = 0
+    rebuilt_batches: List[Tuple[str, int]] = field(default_factory=list)
+    meter: LatencyMeter = field(default_factory=LatencyMeter)
+
+
+def _rebuild_from_upstream(engine: "WukongSEngine", entry: LoggedBatch,
+                           meter: LatencyMeter) -> NodeBatch:
+    """Re-derive a corrupt log record's node batch from upstream backup.
+
+    The source replays the original stream batch (priced as a one-way TCP
+    transfer — sources live outside the rack), and the stateless
+    Adaptor/Dispatcher pair re-derives the node's halves.  String IDs were
+    all allocated on first injection, so re-encoding is deterministic and
+    the rebuilt batch is bit-identical to the uncorrupted record.
+    """
+    damaged = entry.node_batch
+    source = engine.sources.get(damaged.stream)
+    if source is None:
+        raise FaultToleranceError(
+            f"log record for batch {damaged.stream}#{damaged.batch_no} is "
+            f"corrupt and stream has no attached source to rebuild from")
+    try:
+        replayed = [b for b in source.replay(damaged.batch_no - 1)
+                    if b.batch_no == damaged.batch_no]
+    except StreamError as exc:
+        raise FaultToleranceError(
+            f"log record for batch {damaged.stream}#{damaged.batch_no} is "
+            f"corrupt and upstream backup was trimmed: {exc}") from exc
+    if not replayed:
+        raise FaultToleranceError(
+            f"log record for batch {damaged.stream}#{damaged.batch_no} is "
+            f"corrupt and upstream backup no longer holds the batch")
+    batch = replayed[0]
+    payload = engine.config.memory.tuple_bytes * len(batch.tuples)
+    engine.cluster.fabric.replay_transfer(meter, payload, category="replay")
+    adapted = engine.adaptors[batch.stream].adapt(batch, meter=meter)
+    node_batches = engine.dispatchers[batch.stream].dispatch(adapted,
+                                                             meter=meter)
+    return node_batches[damaged.node_id]
+
+
+def recover_node(engine: "WukongSEngine", node_id: int) -> RecoveryReport:
     """Rebuild a crashed node's state from durable inputs.
 
     Order matters: the initial data is reloaded first, then the durable
     log in its original sequence, so every value-list offset matches the
     pre-crash layout and the (shared) stream-index spans stay valid.
+
+    Every log record's CRC is verified before replay; a corrupt record is
+    rejected and rebuilt from upstream backup (§5's at-least-once story:
+    the source still buffers everything past the last acknowledged
+    checkpoint).  The rebuilt record replaces the corrupt one, so a later
+    recovery of the same node replays a clean log.
+
+    All recovery work is charged to the returned report's meter — never to
+    injection records or query meters, keeping the healthy path's
+    simulated time independent of how a run was healed.
     """
     manager = engine.checkpoints
     if manager is None:
@@ -152,21 +250,41 @@ def recover_node(engine: "WukongSEngine", node_id: int) -> None:
     if cluster.nodes[node_id].alive:
         raise FaultToleranceError(f"node {node_id} is not down")
     cluster.restart_node(node_id)
+    report = RecoveryReport(node_id=node_id)
+    meter = report.meter
+    cost = manager.cost
 
     # 1. Reload the node's halves of the initially stored data.
+    halves = 0
     for triple in engine._initial_triples:
         enc = engine.strings.encode_triple(triple)
         if cluster.owner_of(enc.s) == node_id:
             engine.store.insert_out_edge(enc)
+            halves += 1
         if cluster.owner_of(enc.o) == node_id:
             engine.store.insert_in_edge(enc)
+            halves += 1
+    report.reloaded_triples = halves
+    meter.charge(cost.insert_entry_ns, times=halves, category="recovery")
 
     # 2. Re-apply the durable log in original order (timeless halves to the
-    #    persistent store, timing halves as fresh transient slices).
+    #    persistent store, timing halves as fresh transient slices),
+    #    rejecting records whose checksum no longer matches their content.
     injector = engine.injectors[node_id]
     for entry in manager.logged_for_node(node_id):
+        if entry.checksum is not None and \
+                batch_checksum(entry.node_batch) != entry.checksum:
+            report.rejected_entries += 1
+            rebuilt = _rebuild_from_upstream(engine, entry, meter)
+            entry.node_batch = rebuilt
+            entry.checksum = batch_checksum(rebuilt)
+            report.rebuilt_batches.append((rebuilt.stream, rebuilt.batch_no))
         injector.inject(entry.node_batch, entry.sn, index_slice=None,
-                        meter=None)
+                        meter=meter)
+        report.replayed_entries += 1
 
-    # 3. Drop transient slices that expired while the node was down.
+    # 3. Drop transient slices that expired while the node was down, then
+    #    let the coordinator resume normal SN publication.
     engine.gc.run(engine.clock.now_ms)
+    engine.coordinator.mark_node_up(node_id)
+    return report

@@ -44,6 +44,27 @@ class ExecutionRecord:
 
 
 @dataclass
+class GapMarker:
+    """A window close the engine could not serve on time (degraded mode).
+
+    Instead of silently skipping the window, the engine reports the gap to
+    subscribers; once recovery catches up and the execution actually runs,
+    the marker is resolved with the time the late result arrived.  Until
+    then ``resolved_ms`` is None.
+    """
+
+    query: str
+    close_ms: int
+    noted_ms: int
+    reason: str = "degraded"
+    resolved_ms: Optional[int] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.resolved_ms is not None
+
+
+@dataclass
 class RegisteredQuery:
     """A continuous query held by the engine."""
 
@@ -58,6 +79,9 @@ class RegisteredQuery:
     #: ``(cache key, factory)`` of the last access factory built; reused
     #: while the stable SN and every window's batch range stand still.
     access_cache: Optional[tuple] = None
+    #: Window closes missed while the cluster was degraded (in close
+    #: order; resolved in place when catch-up executes them).
+    gaps: List[GapMarker] = field(default_factory=list)
 
     def requirement_at(self, close_ms: int) -> Dict[str, int]:
         """Stream -> last batch number needed for the execution at close_ms."""
@@ -164,8 +188,35 @@ class ContinuousEngine:
                     break  # data-driven: wait for insertion to catch up
                 records.append(self.execute_once(
                     registered, registered.next_close_ms))
+                for marker in registered.gaps:
+                    if marker.close_ms == registered.next_close_ms \
+                            and marker.resolved_ms is None:
+                        marker.resolved_ms = now_ms
                 registered.next_close_ms += registered.step_ms
         return records
+
+    def note_gaps(self, now_ms: int, reason: str = "degraded"
+                  ) -> List[GapMarker]:
+        """Report (without executing) every due window close as a gap.
+
+        Called instead of :meth:`poll` while the cluster is degraded: a
+        dead node's shard is empty, so executing would silently return
+        wrong (partial) answers.  ``next_close_ms`` is *not* advanced —
+        the normal catch-up loop in :meth:`poll` runs the missed closes
+        once recovery completes, and resolves these markers.
+        """
+        fresh: List[GapMarker] = []
+        for registered in self.queries.values():
+            noted = {marker.close_ms for marker in registered.gaps}
+            close = registered.next_close_ms
+            while close <= now_ms:
+                if close not in noted:
+                    marker = GapMarker(query=registered.name, close_ms=close,
+                                       noted_ms=now_ms, reason=reason)
+                    registered.gaps.append(marker)
+                    fresh.append(marker)
+                close += registered.step_ms
+        return fresh
 
     def execute_once(self, registered: RegisteredQuery,
                      close_ms: int) -> ExecutionRecord:

@@ -67,6 +67,7 @@ class Coordinator:
         self.local_sn: List[int] = [0] * num_nodes
         self._stable_sn = 0
         self._compacted_through = 0
+        self._down: set = set()
         # The plan is announced ahead of injection (Fig. 11): publish the
         # first mapping immediately.
         self._publish_next()
@@ -82,10 +83,33 @@ class Coordinator:
     def streams(self) -> List[str]:
         return self.plan.streams
 
+    # -- failure awareness -------------------------------------------------
+    def mark_node_down(self, node_id: int) -> None:
+        """A node failed: freeze SN publication until it recovers.
+
+        While any node is down the cluster must not open new snapshots —
+        the recovered node replays its durable log against the *same* SN
+        plan the batches were originally admitted under, which keeps every
+        value-list offset and shared stream-index span bit-identical to a
+        never-faulted run (the recovery-equivalence invariant).
+        """
+        self._down.add(node_id)
+
+    def mark_node_up(self, node_id: int) -> None:
+        """A node finished recovery; normal SN publication may resume."""
+        self._down.discard(node_id)
+
+    @property
+    def down_nodes(self) -> frozenset:
+        return frozenset(self._down)
+
     # -- VTS updates -------------------------------------------------------
     def on_batch_inserted(self, node_id: int, stream: str, batch_no: int,
                           meter: Optional[LatencyMeter] = None) -> None:
         """A node's injector finished batch ``batch_no`` of ``stream``."""
+        if node_id in self._down:
+            raise ConsistencyError(
+                f"node {node_id} is down; its injector cannot make progress")
         self.local_vts[node_id].update(stream, batch_no)
         if meter is not None:
             meter.charge(self.cost.vts_update_ns, category="vts")
@@ -110,6 +134,8 @@ class Coordinator:
 
         Returns the (possibly advanced) stable SN.
         """
+        if self._down:
+            return self._stable_sn
         for node_id, vts in enumerate(self.local_vts):
             sn = self.local_sn[node_id]
             while sn < self.plan.latest_sn and \

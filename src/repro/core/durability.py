@@ -158,18 +158,30 @@ def save_engine(engine: WukongSEngine, path: str) -> None:
         ],
         "clock_ms": engine.clock.now_ms,
         "last_delivered": dict(engine._last_delivered),
+        # Attachment order of the stream sources.  The sources themselves
+        # live upstream and are not serialized, but the *order* they were
+        # attached in is part of the engine's durable identity: restore
+        # must re-attach in this order so a saved-restored-saved engine
+        # round-trips bit-identically.
+        "sources": list(engine.sources),
     }
     with open(path, "w") as handle:
         json.dump(data, handle)
 
 
-def restore_engine(path: str) -> WukongSEngine:
+def restore_engine(path: str, sources: Optional[List] = None
+                   ) -> WukongSEngine:
     """Cold-start recovery: rebuild an engine from :func:`save_engine`.
 
     Stream sources are *not* part of the durable state (they live
-    upstream); re-attach them and resume ``run_until`` from the recovered
-    clock.  Continuous queries are re-registered with their original home
-    nodes and execution schedules.
+    upstream), but their attachment order is recorded in the dump: pass
+    the live :class:`~repro.streams.source.StreamSource` objects via
+    ``sources`` (any iteration order) and they are re-attached in the
+    *saved* order — earlier versions left re-attachment to the caller,
+    which silently lost the order and broke save/restore idempotence.
+    Sources for streams unknown to the dump are attached afterwards in
+    name order, deterministically.  Continuous queries are re-registered
+    with their original home nodes and execution schedules.
     """
     with open(path) as handle:
         data = json.load(handle)
@@ -217,6 +229,16 @@ def restore_engine(path: str) -> WukongSEngine:
             query_from_dict(item["query"]), home_node=item["home_node"])
         handle.next_close_ms = item["next_close_ms"]
 
-    # 5. Drop whatever the recovered windows can no longer reach.
+    # 5. Re-attach the live sources in the recorded attachment order.
+    if sources:
+        by_name = {source.schema.name: source for source in sources}
+        for name in data.get("sources", []):
+            source = by_name.pop(name, None)
+            if source is not None:
+                engine.attach_source(source)
+        for name in sorted(by_name):
+            engine.attach_source(by_name[name])
+
+    # 6. Drop whatever the recovered windows can no longer reach.
     engine.gc.run(engine.clock.now_ms)
     return engine

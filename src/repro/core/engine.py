@@ -146,6 +146,9 @@ class WukongSEngine:
         self.injection_records: List[InjectionRecord] = []
         self._initial_triples: List[Triple] = []
         self._ticks = 0
+        #: Optional chaos controller (``repro.chaos``); None on the healthy
+        #: path, where every hook below short-circuits.
+        self.chaos = None
 
     # -- stream wiring -----------------------------------------------------
     def _add_stream_state(self, schema: StreamSchema) -> None:
@@ -280,23 +283,46 @@ class WukongSEngine:
                              snapshot=self.coordinator.stable_sn)
 
     # -- simulation loop ------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        """Whether normal progress is allowed this tick.
+
+        False while any node is down or a chaos hold is in flight.  While
+        degraded the engine stalls injection *globally* (preserving the
+        exact global injection order — and with it every value-list offset,
+        stream-index span and SN assignment — for recovery equivalence),
+        skips checkpoints, and reports gap markers instead of executing
+        continuous queries against a partial cluster.
+        """
+        return self.cluster.all_alive and \
+            (self.chaos is None or not self.chaos.blocks_progress())
+
     def step(self) -> List[ExecutionRecord]:
         """Advance one mini-batch interval; returns new continuous results."""
         cfg = self.config
         now = self.clock.advance(cfg.batch_interval_ms)
+        if self.chaos is not None:
+            self.chaos.on_tick(self, now)
         self._deliver_batches(now)
-        self._pump_injection()
+        if self.healthy:
+            self._pump_injection()
+        # Re-checked after the pump: a scheduled mid-tick kill fires
+        # between batch injections, degrading the rest of this tick.
         checkpointed = False
-        if self.checkpoints is not None:
+        if self.checkpoints is not None and self.healthy:
             checkpointed = self.checkpoints.maybe_checkpoint(
                 now, self.coordinator, self.sources)
-        records = self.continuous.poll(now)
-        if checkpointed and self.checkpoints is not None:
-            # Queries co-scheduled with the incremental checkpoint wait
-            # behind its write (the paper's p99 growth in §6.8).
-            pause_ns = self.checkpoints.last_checkpoint_pause_ms * 1e6
-            for record in records:
-                record.meter.charge(pause_ns, category="checkpoint")
+        if self.healthy:
+            records = self.continuous.poll(now)
+            if checkpointed and self.checkpoints is not None:
+                # Queries co-scheduled with the incremental checkpoint wait
+                # behind its write (the paper's p99 growth in §6.8).
+                pause_ns = self.checkpoints.last_checkpoint_pause_ms * 1e6
+                for record in records:
+                    record.meter.charge(pause_ns, category="checkpoint")
+        else:
+            self.continuous.note_gaps(now)
+            records = []
         self._ticks += 1
         if cfg.gc_every_ticks and self._ticks % cfg.gc_every_ticks == 0:
             self.gc.run(now)
@@ -319,6 +345,9 @@ class WukongSEngine:
             while source is not None and source.has_pending:
                 head = source.next_batch()
                 assert head is not None
+                if self.chaos is not None and \
+                        self.chaos.intercept_delivery(self, head):
+                    continue  # held or dropped in flight; chaos re-queues
                 if head.end_ms > now_ms:
                     # Arrived from the future: keep for a later tick by
                     # pushing back is impossible (sources are FIFO), so
@@ -326,7 +355,9 @@ class WukongSEngine:
                     pending.append(head)
                     break
                 pending.append(head)
-            if cfg.auto_pad_streams:
+            if cfg.auto_pad_streams and \
+                    (self.chaos is None or
+                     not self.chaos.suppresses_padding(name)):
                 self._pad_stream(name, now_ms)
 
     def _pad_stream(self, name: str, now_ms: int) -> None:
@@ -351,12 +382,17 @@ class WukongSEngine:
             for name in self.schemas:
                 pending = self._pending[name]
                 while pending:
+                    if not self.cluster.all_alive:
+                        return  # a mid-tick kill fired: stall till recovery
                     batch = pending[0]
                     if batch.end_ms > self.clock.now_ms:
                         break
                     sn = self.coordinator.sn_for_batch(name, batch.batch_no)
                     if sn is None:
                         break  # stalled until the next SN mapping
+                    if self.chaos is not None and \
+                            not self.chaos.admit_injection(self):
+                        return  # chaos killed a node between batches
                     pending.popleft()
                     self._inject_batch(batch, sn)
                     self._last_delivered[name] = batch.batch_no
@@ -398,6 +434,7 @@ class WukongSEngine:
         """Fail one node, losing its in-memory shard and transient stores."""
         from repro.store.kvstore import ShardStore
         self.cluster.kill_node(node_id)
+        self.coordinator.mark_node_down(node_id)
         self.store.shards[node_id] = ShardStore(self.config.cost)
         for shards in self.transients.values():
             shards[node_id] = TransientStore(
@@ -408,13 +445,17 @@ class WukongSEngine:
             for stream, shards in self.transients.items()
         }
 
-    def recover_node(self, node_id: int) -> None:
-        """Recover a crashed node from checkpoints + upstream backup (§5)."""
+    def recover_node(self, node_id: int):
+        """Recover a crashed node from checkpoints + upstream backup (§5).
+
+        Returns the :class:`~repro.core.checkpoint.RecoveryReport` with the
+        replay counts and the recovery path's simulated cost.
+        """
         if self.checkpoints is None:
             raise StreamError(
                 "fault tolerance is disabled; enable it in EngineConfig")
         from repro.core.checkpoint import recover_node
-        recover_node(self, node_id)
+        return recover_node(self, node_id)
 
     # -- accounting ------------------------------------------------------------
     def raw_stream_bytes(self, stream: str) -> int:

@@ -41,6 +41,10 @@ class Injector:
         self.transients = transients
         self.threads = threads
         self.tuples_injected = 0
+        #: Straggler multiplier (chaos harness): >1 inflates this node's
+        #: injection-branch time by (slowdown-1)x, modelling a server whose
+        #: cores are contended.  1.0 on the healthy path charges nothing.
+        self.slowdown = 1.0
 
     #: Fibonacci multiplicative mixing: thread partitioning must not alias
     #: the cluster's modulo placement (a node only holds vids congruent
@@ -69,6 +73,7 @@ class Injector:
         creates.  It is None for streams carrying only timing data (e.g.
         LSBench's GPS stream), which need no stream index.
         """
+        base_ns = meter.ns if meter is not None else 0.0
         branches: List[LatencyMeter] = []
         out_parts = self._partition(node_batch.out_timeless, True)
         in_parts = self._partition(node_batch.in_timeless, False)
@@ -107,3 +112,9 @@ class Injector:
             # GC see a continuous timeline.
             self.transients[node_batch.stream].append_slice(
                 node_batch.batch_no, [], [], meter=meter)
+
+        if meter is not None and self.slowdown > 1.0:
+            worked_ns = meter.ns - base_ns
+            if worked_ns > 0:
+                meter.charge((self.slowdown - 1.0) * worked_ns,
+                             category="straggle")

@@ -56,3 +56,11 @@ class UnsupportedOperationError(ReproError):
 
 class FaultToleranceError(ReproError):
     """Checkpoint / recovery failure."""
+
+
+class ProxyTimeoutError(ReproError):
+    """A client request exhausted its retry budget against a degraded cluster."""
+
+
+class ChaosError(ReproError):
+    """A fault plan is malformed or cannot be applied to this engine."""

@@ -23,12 +23,16 @@ class FabricStats:
     rdma_bytes: int = 0
     messages: int = 0
     message_bytes: int = 0
+    replays: int = 0
+    replay_bytes: int = 0
 
     def reset(self) -> None:
         self.rdma_reads = 0
         self.rdma_bytes = 0
         self.messages = 0
         self.message_bytes = 0
+        self.replays = 0
+        self.replay_bytes = 0
 
 
 class Fabric:
@@ -78,6 +82,19 @@ class Fabric:
         """Charge a one-way send (half a round trip) of ``nbytes``."""
         self.stats.messages += 1
         self.stats.message_bytes += nbytes
+        meter.charge(self.cost.tcp_cost(nbytes) / 2.0, category=category)
+
+    def replay_transfer(self, meter: LatencyMeter, nbytes: int,
+                        category: str = "replay") -> None:
+        """Charge one upstream-backup replay of ``nbytes`` (§5 recovery).
+
+        Sources sit outside the rack, so replay always travels as a one-way
+        TCP send regardless of the fabric's RDMA capability.  Charged to
+        the recovery meter, never to an injection record, so the simulated
+        cost of the healthy path is unaffected by how a run was healed.
+        """
+        self.stats.replays += 1
+        self.stats.replay_bytes += nbytes
         meter.charge(self.cost.tcp_cost(nbytes) / 2.0, category=category)
 
     def bulk_transfer(self, meter: LatencyMeter, nbytes: int,

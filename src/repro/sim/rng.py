@@ -9,6 +9,7 @@ state or wall-clock seeding.
 from __future__ import annotations
 
 import random
+import zlib
 from bisect import bisect_left
 from typing import Dict, List, Sequence, Tuple, TypeVar
 
@@ -23,6 +24,20 @@ def make_rng(seed: int, *salt: object) -> random.Random:
     """
     mixed = hash((int(seed),) + tuple(str(s) for s in salt)) & 0x7FFF_FFFF_FFFF_FFFF
     return random.Random(mixed)
+
+
+def stable_rng(seed: int, *salt: object) -> random.Random:
+    """Like :func:`make_rng`, but stable across interpreter processes.
+
+    ``make_rng`` mixes its salt with :func:`hash`, which for strings is
+    randomized per process.  Components whose draws must be reproducible
+    *between* runs — fault plans, retry jitter, anything golden-recorded —
+    derive their seed through CRC32 instead, which is a pure function of
+    the bytes.
+    """
+    text = repr((int(seed),) + tuple(str(s) for s in salt)).encode()
+    mixed = zlib.crc32(text) ^ (int(seed) << 32)
+    return random.Random(mixed & 0x7FFF_FFFF_FFFF_FFFF)
 
 
 #: Cached cumulative Zipf weights, keyed by (population size, skew).

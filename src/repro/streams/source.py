@@ -109,3 +109,8 @@ class StreamSource:
     @property
     def backup_size(self) -> int:
         return len(self._backup)
+
+    @property
+    def acked_through(self) -> int:
+        """Highest batch number acknowledged (and trimmed from backup)."""
+        return self._acked_through

@@ -1,0 +1,172 @@
+"""Client-visible fault semantics: timeout, backoff, retry, gap markers.
+
+The acceptance scenario: a proxy request that hits a dead node retries
+with seeded-jitter exponential backoff and succeeds — with the complete
+answer — once ``recover_node`` has replayed the durable log.  No silent
+partial answers, no silent drops: exhausted requests fail loudly with
+:class:`ProxyTimeoutError`, and continuous subscribers see gap markers
+that are resolved once catch-up delivers the late windows.
+"""
+
+import pytest
+
+from chaos.chaos_workload import build_engine
+from core.determinism_workload import CONTINUOUS_QUERIES, ONESHOT_QUERIES
+from repro.client.proxy import Proxy, ProxyPool, RetryPolicy
+from repro.errors import ProxyTimeoutError
+
+pytestmark = pytest.mark.chaos
+
+#: Index-start over streamed timeless data: the answer depends on every
+#: injected batch, so a partial answer would be visible as missing rows.
+QUERY = ONESHOT_QUERIES["O2"]
+
+
+def _run(engine, ticks):
+    for _ in range(ticks):
+        engine.step()
+
+
+def test_healthy_submission_is_one_attempt():
+    engine = build_engine()
+    _run(engine, 10)
+    proxy = Proxy(engine, proxy_id=0, affinity_node=0, seed=7)
+    request = proxy.submit_robust(QUERY)
+    assert request.done and request.attempts == 1
+    assert request.waited_ns == 0.0 and request.backoffs_ns == []
+    assert proxy.stats.timeouts == 0
+    assert proxy.wait_for(request).rows
+
+
+def test_retry_succeeds_after_recovery_without_data_loss():
+    engine = build_engine()
+    _run(engine, 15)
+    proxy = Proxy(engine, proxy_id=0, affinity_node=0, seed=7)
+
+    engine.crash_node(1)
+    request = proxy.submit_robust(QUERY)
+    assert not request.done
+    assert proxy.stats.timeouts == 1 and request.backoffs_ns
+
+    # Two degraded ticks: the request keeps timing out on its backoff
+    # schedule, never executing against the half-empty cluster.
+    for _ in range(2):
+        engine.step()
+        assert proxy.pump() == []
+    assert not request.done and request.attempts > 1
+    attempts_while_down = request.attempts
+
+    engine.recover_node(1)
+    engine.step()  # catch-up: the stalled injections drain
+    finished = proxy.pump()
+    assert finished == [request] and proxy.pending == []
+
+    result = proxy.wait_for(request)
+    assert request.attempts == attempts_while_down + 1
+    assert proxy.stats.retries >= attempts_while_down
+    # The client pays for the wait: timeouts + jittered backoffs.
+    assert request.waited_ms > 0
+    assert result.client_latency_ms >= request.waited_ms
+    expected_wait = (len(request.backoffs_ns) * proxy.policy.timeout_ns
+                     + sum(request.backoffs_ns))
+    assert request.waited_ns == pytest.approx(expected_wait)
+
+    # No client-visible data loss: a never-faulted engine driven through
+    # the same 18 ticks gives the exact same decoded answer.
+    reference = build_engine()
+    _run(reference, 18)
+    ref_proxy = Proxy(reference, proxy_id=0, affinity_node=0, seed=7)
+    ref_result = ref_proxy.wait_for(ref_proxy.submit_robust(QUERY))
+    assert ref_result.rows, "reference answer must be non-trivial"
+    assert sorted(result.rows) == sorted(ref_result.rows)
+    assert result.snapshot == ref_result.snapshot
+
+
+def test_backoff_jitter_is_seeded_and_reproducible():
+    def drained_backoffs(seed):
+        engine = build_engine()
+        _run(engine, 12)
+        proxy = Proxy(engine, proxy_id=0, affinity_node=0, seed=seed)
+        engine.crash_node(0)
+        request = proxy.submit_robust(QUERY)
+        engine.step()
+        proxy.pump()
+        return list(request.backoffs_ns)
+
+    first, second = drained_backoffs(7), drained_backoffs(7)
+    assert len(first) > 2
+    assert first == second, "same seed must draw the same jitter"
+    assert drained_backoffs(8) != first, "different seed, different jitter"
+    # Bounded exponential: no draw exceeds the cap, later draws grow
+    # until they saturate at [cap/2, cap].
+    cap = RetryPolicy().backoff_cap_ns
+    assert all(draw <= cap for draw in first)
+    assert max(first) > first[0]
+
+
+def test_exhausted_request_fails_loudly():
+    engine = build_engine()
+    _run(engine, 12)
+    policy = RetryPolicy(max_attempts=4)
+    proxy = Proxy(engine, proxy_id=0, affinity_node=0, policy=policy,
+                  seed=3)
+    engine.crash_node(0)
+    request = proxy.submit_robust(QUERY)
+    for _ in range(3):  # never recovered: the attempt budget runs out
+        engine.step()
+        proxy.pump()
+    assert request.failed and request.attempts == policy.max_attempts
+    assert proxy.stats.failures == 1 and proxy.pending == []
+    with pytest.raises(ProxyTimeoutError, match="gave up after 4 attempts"):
+        proxy.wait_for(request)
+
+
+def test_pending_request_cannot_be_waited_on_early():
+    engine = build_engine()
+    _run(engine, 12)
+    proxy = Proxy(engine, proxy_id=0, affinity_node=0, seed=3)
+    engine.crash_node(0)
+    request = proxy.submit_robust(QUERY)
+    with pytest.raises(ProxyTimeoutError, match="still pending"):
+        proxy.wait_for(request)
+
+
+def test_pool_pumps_all_proxies_through_an_outage():
+    engine = build_engine()
+    _run(engine, 15)
+    pool = ProxyPool(engine, num_proxies=2, seed=11)
+    engine.crash_node(1)
+    requests = [pool.submit_robust(QUERY) for _ in range(4)]
+    assert pool.total_pending == 4
+    engine.step()
+    assert pool.pump() == []
+    engine.recover_node(1)
+    engine.step()
+    finished = pool.pump()
+    assert sorted(map(id, finished)) == sorted(map(id, requests))
+    assert pool.total_pending == 0
+    answers = {tuple(sorted(r.result.rows)) for r in requests}
+    assert len(answers) == 1, "every client sees the same complete answer"
+
+
+def test_subscription_gap_markers_resolve_after_catchup():
+    engine = build_engine()
+    proxy = Proxy(engine, proxy_id=0, affinity_node=0, seed=5)
+    text = CONTINUOUS_QUERIES["QG"].replace("QG", "QG_SUB")
+    subscription = proxy.register(text)
+    _run(engine, 14)
+    subscription.poll()
+    assert subscription.poll_gaps() == []
+
+    engine.crash_node(0)
+    _run(engine, 5)  # misses QG_SUB closes at 1800 and 2200 ms
+    markers = subscription.poll_gaps()
+    assert markers and all(not m.resolved for m in markers)
+    assert subscription.poll() == [], "no silent partial windows"
+
+    engine.recover_node(0)
+    _run(engine, 2)
+    late = subscription.poll()
+    assert len(late) >= len(markers), "catch-up delivers the late windows"
+    assert all(m.resolved for m in markers)
+    assert subscription.poll_gaps() == [], "no new gaps after the heal"

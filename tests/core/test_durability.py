@@ -1,13 +1,17 @@
 """Tests for durable checkpoints on disk and cold-start recovery."""
 
+import json
+
 import pytest
 
 from repro.core.durability import (query_from_dict, query_to_dict,
                                    restore_engine, save_engine)
 from repro.errors import FaultToleranceError
+from repro.rdf.parser import parse_timed_tuples
 from repro.sparql.parser import parse_query
+from repro.streams.source import StreamSource
 
-from core.test_engine import QC, build_engine, names
+from core.test_engine import LIKES, QC, TWEETS, build_engine, names
 
 
 @pytest.fixture
@@ -18,6 +22,14 @@ def checkpoint(tmp_path):
 def ft_engine(**overrides):
     overrides.setdefault("fault_tolerance", True)
     return build_engine(**overrides)
+
+
+def _fresh_source(engine, name):
+    """A new upstream source for ``name``, as a restart would create it."""
+    source = StreamSource(engine.schemas[name])
+    text = TWEETS if name == "Tweet_Stream" else LIKES
+    source.queue_tuples(parse_timed_tuples(text), 0, 1000)
+    return source
 
 
 class TestQuerySerialization:
@@ -107,6 +119,71 @@ class TestSaveRestore:
             json.dump(data, handle)
         with pytest.raises(FaultToleranceError):
             restore_engine(checkpoint)
+
+    def test_restore_preserves_source_attachment_order(self, checkpoint):
+        """Regression: the dump records the attachment order, and restore
+        must honour it even when the caller hands sources over in a
+        different (say, sorted) order.  Attachment order is part of the
+        engine's durable identity — padding and batch pulls iterate the
+        sources dict, so a reordered restore would diverge from the
+        original timeline."""
+        engine = ft_engine()
+        engine.run_until(4_000)
+        # build_engine attaches Tweet_Stream before Like_Stream: the
+        # attachment order is *not* the sorted order.
+        attached = list(engine.sources)
+        assert attached == ["Tweet_Stream", "Like_Stream"]
+        save_engine(engine, checkpoint)
+        with open(checkpoint) as handle:
+            assert json.load(handle)["sources"] == attached
+
+        fresh = [_fresh_source(engine, name)
+                 for name in sorted(engine.schemas)]  # wrong order on purpose
+        revived = restore_engine(checkpoint, sources=fresh)
+        assert list(revived.sources) == attached
+
+    def test_restore_attaches_unknown_sources_in_name_order(
+            self, checkpoint):
+        engine = ft_engine()
+        engine.run_until(2_000)
+        save_engine(engine, checkpoint)
+        with open(checkpoint) as handle:
+            data = json.load(handle)
+        data["sources"] = []  # an old dump without the recorded order
+        with open(checkpoint, "w") as handle:
+            json.dump(data, handle)
+        fresh = [_fresh_source(engine, name)
+                 for name in ("Tweet_Stream", "Like_Stream")]
+        revived = restore_engine(checkpoint, sources=fresh)
+        assert list(revived.sources) == ["Like_Stream", "Tweet_Stream"]
+
+    def test_double_restore_is_idempotent(self, checkpoint, tmp_path):
+        """save -> restore -> save must reproduce the dump bit for bit
+        (before the attachment-order fix, the second dump recorded the
+        caller's re-attachment order instead of the original)."""
+        engine = ft_engine()
+        engine.register_continuous(QC)
+        engine.run_until(5_000)
+        save_engine(engine, checkpoint)
+        with open(checkpoint) as handle:
+            first = json.load(handle)
+
+        revived = restore_engine(
+            checkpoint, sources=[_fresh_source(engine, name)
+                                 for name in sorted(engine.schemas)])
+        second_path = str(tmp_path / "second.ckpt.json")
+        save_engine(revived, second_path)
+        with open(second_path) as handle:
+            second = json.load(handle)
+        assert second == first
+
+        # And the twice-removed engine still answers like the original.
+        again = restore_engine(
+            second_path, sources=[_fresh_source(engine, name)
+                                  for name in sorted(engine.schemas)])
+        probe = "SELECT ?X WHERE { Logan po ?X . ?X ht sosp17 }"
+        assert names(again, again.oneshot(probe, home_node=0).result.rows) \
+            == names(engine, engine.oneshot(probe, home_node=0).result.rows)
 
     def test_time_scoped_queries_survive(self, checkpoint):
         engine = ft_engine(gc_every_ticks=0)
