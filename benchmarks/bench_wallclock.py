@@ -21,21 +21,30 @@ on a fixed LSBench workload and records the medians in
 Simulated results are guarded separately (``tests/core/test_determinism``):
 optimizations must move these numbers and *only* these numbers.
 
+The oneshot scenario additionally reports a per-phase breakdown
+(``plan`` / ``explore`` / ``project`` wall seconds, from the engine's
+``wall_stats`` instrumentation) so plan-cache and executor changes are
+attributable without a profiler run.
+
 Usage::
 
     python benchmarks/bench_wallclock.py [--quick] [--out PATH]
-        [--baseline PATH]
+        [--baseline PATH] [--profile]
 
 ``--quick`` is the CI smoke mode (shorter duration, fewer repeats).  With a
 baseline file (default ``benchmarks/BENCH_wallclock_seed.json``, recorded
 from the pre-fast-path seed), per-scenario speedups are included.
+``--profile`` additionally runs each scenario once under cProfile and
+prints the top 20 functions by cumulative time.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
+import pstats
 import statistics
 import sys
 import time
@@ -79,11 +88,15 @@ def run_continuous(duration_ms: int) -> float:
     return _timed(lambda: engine.run_until(duration_ms))
 
 
-def run_oneshot(duration_ms: int, rounds: int = 10) -> float:
+def run_oneshot(duration_ms: int, rounds: int = 10, phases=None) -> float:
     bench = _bench()
     engine = build_wukongs(bench, num_nodes=1, duration_ms=duration_ms)
     engine.run_until(duration_ms)
     queries = [bench.oneshot_query(name) for name in S_QUERIES]
+    if phases is not None:
+        # Per-phase wall accumulation (plan / explore / project).
+        engine.oneshot_engine.wall_stats = phases
+        engine.oneshot_engine.explorer.wall_stats = phases
 
     def execute_all():
         for _ in range(rounds):
@@ -93,26 +106,60 @@ def run_oneshot(duration_ms: int, rounds: int = 10) -> float:
     return _timed(execute_all)
 
 
+def run_oneshot_phased(duration_ms: int):
+    phases = {}
+    elapsed = run_oneshot(duration_ms, phases=phases)
+    return elapsed, phases
+
+
 SCENARIOS = {
     "injection": run_injection,
     "continuous": run_continuous,
-    "oneshot": run_oneshot,
+    "oneshot": run_oneshot_phased,
 }
+
+ONESHOT_PHASES = ("plan", "explore", "project")
 
 
 def measure(duration_ms: int, repeats: int) -> dict:
     results = {}
     for name, runner in SCENARIOS.items():
         runs = []
+        phase_runs = {phase: [] for phase in ONESHOT_PHASES}
         for _ in range(repeats):
-            runs.append(runner(duration_ms))
+            run = runner(duration_ms)
+            if isinstance(run, tuple):
+                run, phases = run
+                for phase in ONESHOT_PHASES:
+                    phase_runs[phase].append(phases.get(phase, 0.0))
+            runs.append(run)
         results[name] = {
             "median_s": statistics.median(runs),
             "runs_s": runs,
         }
         print(f"{name:12s} median {results[name]['median_s']:.3f}s "
               f"({', '.join(f'{r:.3f}' for r in runs)})", flush=True)
+        if any(phase_runs.values()):
+            medians = {phase: statistics.median(values)
+                       for phase, values in phase_runs.items() if values}
+            results[name]["phases_s"] = medians
+            breakdown = ", ".join(f"{phase} {medians[phase]:.3f}s"
+                                  for phase in ONESHOT_PHASES
+                                  if phase in medians)
+            print(f"{'':12s} phases: {breakdown}", flush=True)
     return results
+
+
+def profile_scenarios(duration_ms: int, top: int = 20) -> None:
+    """Run each scenario once under cProfile; print top-N by cumtime."""
+    for name, runner in SCENARIOS.items():
+        print(f"\n--- profile: {name} ---", flush=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        runner(duration_ms)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(top)
 
 
 def main(argv=None) -> int:
@@ -123,12 +170,17 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to compute speedups against")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run each scenario once under cProfile "
+                             "and print the top 20 functions by cumtime")
     args = parser.parse_args(argv)
 
     if args.baseline is None:
         args.baseline = SEED_BASELINE_QUICK if args.quick else SEED_BASELINE
     duration_ms = 1_500 if args.quick else 2_500
     repeats = 3 if args.quick else 5
+    if args.profile:
+        profile_scenarios(duration_ms)
     results = measure(duration_ms, repeats)
 
     report = {

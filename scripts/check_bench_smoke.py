@@ -1,0 +1,68 @@
+"""Bench smoke gate: fail when a quick run regresses the committed report.
+
+Compares ``speedup_vs_seed`` of a fresh ``bench_wallclock.py --quick`` run
+against the committed ``BENCH_wallclock.json`` (recorded in full mode from
+the same tree state).  Each scenario must retain at least ``THRESHOLD``
+(0.95x) of its committed speedup — loose enough for CI noise, tight
+enough to catch a real fast-path regression.
+
+Usage::
+
+    python scripts/check_bench_smoke.py --committed BENCH_wallclock.json \
+        --smoke .bench_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Minimum fraction of the committed speedup a smoke run must retain.
+THRESHOLD = 0.95
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--committed", default="BENCH_wallclock.json")
+    parser.add_argument("--smoke", required=True,
+                        help="JSON report of the fresh --quick run")
+    args = parser.parse_args(argv)
+
+    with open(args.committed) as handle:
+        committed = json.load(handle).get("speedup_vs_seed", {})
+    with open(args.smoke) as handle:
+        smoke = json.load(handle).get("speedup_vs_seed", {})
+
+    if not committed:
+        print(f"{args.committed} records no speedup_vs_seed; nothing to "
+              "gate against")
+        return 1
+
+    failures = []
+    for name, want in sorted(committed.items()):
+        floor = THRESHOLD * want
+        got = smoke.get(name)
+        if got is None:
+            failures.append(f"{name}: smoke run reports no speedup "
+                            "(baseline file missing?)")
+            continue
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"{name:12s} committed {want:.2f}x, smoke {got:.2f}x "
+              f"(floor {floor:.2f}x) .. {status}")
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.2f}x < {floor:.2f}x "
+                f"(0.95 * committed {want:.2f}x)")
+
+    if failures:
+        print("\nbench smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

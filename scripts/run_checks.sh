@@ -6,10 +6,12 @@
 # `chaos` and run separately, followed by a drift check of the golden
 # files (scripts/regen_goldens.py --check).
 #
-# The benchmark runs in --quick mode (shorter scenarios, fewer repeats)
-# and writes BENCH_wallclock.json at the repo root; compare speedup_vs_seed
-# there against the recorded seed baselines.  Use
-# `python benchmarks/bench_wallclock.py` (no --quick) for citable numbers.
+# The bench-smoke stage runs the wall-clock benchmark in --quick mode
+# (shorter scenarios, fewer repeats) to a scratch file and fails if any
+# scenario retains less than 0.95x of the speedup_vs_seed recorded in the
+# committed BENCH_wallclock.json.  Use
+# `python benchmarks/bench_wallclock.py` (no --quick) for citable numbers
+# and to refresh BENCH_wallclock.json itself.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -22,7 +24,11 @@ PYTHONPATH=src python -m pytest -x -q -m chaos
 echo "== golden drift check =="
 python scripts/regen_goldens.py --check
 
-echo "== wall-clock benchmark (quick) =="
-PYTHONPATH=src python benchmarks/bench_wallclock.py --quick
+echo "== bench smoke (quick run vs committed BENCH_wallclock.json) =="
+PYTHONPATH=src python benchmarks/bench_wallclock.py --quick \
+    --out .bench_smoke.json
+python scripts/check_bench_smoke.py --committed BENCH_wallclock.json \
+    --smoke .bench_smoke.json
+rm -f .bench_smoke.json
 
-echo "== done: see BENCH_wallclock.json =="
+echo "== done =="

@@ -132,6 +132,9 @@ class WukongSEngine:
         self.oneshot_engine = OneShotEngine(
             self.cluster, self.store, self.coordinator,
             contention_factor=cfg.oneshot_contention)
+        #: Query text -> parsed AST for repeated one-shot submissions
+        #: (bounded; parsing is pure so entries never go stale).
+        self._oneshot_parse_cache: Dict[str, Query] = {}
         self.gc = GarbageCollector(
             self.registry, self.transients, self.continuous,
             cfg.batch_interval_ms, cfg.stream_start_ms,
@@ -208,7 +211,16 @@ class WukongSEngine:
     def oneshot(self, query: Union[str, Query],
                 home_node: Optional[int] = None) -> OneShotRecord:
         """Execute a one-shot SPARQL query at the stable snapshot."""
-        parsed = parse_query(query) if isinstance(query, str) else query
+        if isinstance(query, str):
+            parsed = self._oneshot_parse_cache.get(query)
+            if parsed is None:
+                parsed = parse_query(query)
+                cache = self._oneshot_parse_cache
+                if len(cache) >= 256:
+                    del cache[next(iter(cache))]
+                cache[query] = parsed
+        else:
+            parsed = query
         contended = bool(self.continuous.queries)
         return self.oneshot_engine.execute(parsed, home_node=home_node,
                                            contended=contended)

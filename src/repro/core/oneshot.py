@@ -14,16 +14,20 @@ while continuous queries are actively registered.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.coordinator import Coordinator
 from repro.sim.cluster import Cluster
 from repro.sim.cost import LatencyMeter
 from repro.sparql.ast import Query
-from repro.sparql.planner import plan_query
+from repro.sparql.planner import ExecutionPlan, plan_order, plan_query
 from repro.store.distributed import DistributedStore, PersistentAccess
 from repro.store.executor import ExecutionResult, GraphExplorer
+
+#: Bound on cached compiled plans (FIFO eviction).
+PLAN_CACHE_CAPACITY = 128
 
 
 @dataclass
@@ -51,6 +55,37 @@ class OneShotEngine:
         self.contention_factor = contention_factor
         self.explorer = GraphExplorer(cluster, store.strings)
         self._next_home = 0
+        self._stats = None  # lazy: avoids a core.stats import cycle
+        #: (normalized AST, pattern order) -> planned-and-compiled plan.
+        self._plan_cache: Dict[Tuple, ExecutionPlan] = {}
+        #: When set (a dict), wall-clock seconds per phase are accumulated
+        #: under "plan" here; the explorer handles "explore"/"project".
+        self.wall_stats: Optional[Dict[str, float]] = None
+
+    def _statistics(self):
+        if self._stats is None:
+            from repro.core.stats import PredicateStatistics
+            self._stats = PredicateStatistics(self.store)
+        return self._stats
+
+    def plan(self, query: Query) -> ExecutionPlan:
+        """The selectivity-ordered plan for ``query``, cached.
+
+        The greedy ordering pass runs on every call (it is cheap and must
+        track the store's evolving cardinalities); the constructed plan —
+        and the compiled slot layout the executor caches on it — is reused
+        whenever the normalized AST *and* the chosen order repeat.
+        """
+        order = plan_order(query.patterns, stats=self._statistics())
+        key = (query.cache_key(), tuple(order))
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            cache = self._plan_cache
+            if len(cache) >= PLAN_CACHE_CAPACITY:
+                del cache[next(iter(cache))]
+            plan = plan_query(query, fixed_order=order)
+            cache[key] = plan
+        return plan
 
     def execute(self, query: Query, home_node: Optional[int] = None,
                 contended: bool = False,
@@ -76,8 +111,14 @@ class OneShotEngine:
                                       max_sn=sn)
             return lambda pattern: access
 
-        result = self.explorer.execute(plan_query(query), factory,
-                                       meter, home_node=home_node)
+        wall = self.wall_stats
+        started = time.perf_counter() if wall is not None else 0.0
+        plan = self.plan(query)
+        if wall is not None:
+            wall["plan"] = wall.get("plan", 0.0) \
+                + (time.perf_counter() - started)
+        result = self.explorer.execute(plan, factory, meter,
+                                       home_node=home_node)
         if contended and self.contention_factor > 0:
             meter.charge(meter.ns * self.contention_factor,
                          category="contention")

@@ -5,15 +5,63 @@ counters the reproduction already keeps — store sizes, stream-index and
 transient footprints, GC progress, fabric traffic, injection totals,
 query registrations and latencies — into one typed snapshot with a
 formatted dashboard, used by examples and operators alike.
+
+It also hosts :class:`PredicateStatistics`, the live per-predicate
+cardinality view the cost-aware planner consumes (collected at
+load/injection time by ``ShardStore``; see ``repro.sparql.planner``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bench.metrics import mean, median, percentile
 from repro.core.engine import WukongSEngine
+from repro.rdf.ids import DIR_IN, DIR_OUT
+from repro.store.distributed import DistributedStore
+
+
+class PredicateStatistics:
+    """Selectivity estimates from the store's cardinality counters.
+
+    A *live view*: every estimate reads the shards' current counters, so
+    plans adapt as injection evolves the store without any refresh hook.
+    All three accessors are pure functions of deterministic counters,
+    which makes statistics-driven plan ordering reproducible run-to-run.
+    Predicates the store has never seen estimate to 0.0 — unknown
+    predicates produce empty results, the cheapest possible step.
+
+    Estimates (Strider-style, arXiv:1705.05688):
+
+    ``out_degree(p)``   mean neighbours per subject — the fan-out of a
+                        forward traversal through ``p``.
+    ``in_degree(p)``    mean neighbours per object — the fan-out of a
+                        reverse traversal.
+    ``index_size(p)``   total ``p`` edges — the enumeration cost of an
+                        index-vertex start.
+    """
+
+    def __init__(self, store: DistributedStore):
+        self.store = store
+        self.strings = store.strings
+
+    def _cardinality(self, predicate: str, d: int) -> Tuple[int, int]:
+        eid = self.strings.lookup_predicate(predicate)
+        if eid is None:
+            return 0, 0
+        return self.store.predicate_cardinality(eid, d)
+
+    def out_degree(self, predicate: str) -> float:
+        entries, keys = self._cardinality(predicate, DIR_OUT)
+        return entries / keys if keys else 0.0
+
+    def in_degree(self, predicate: str) -> float:
+        entries, keys = self._cardinality(predicate, DIR_IN)
+        return entries / keys if keys else 0.0
+
+    def index_size(self, predicate: str) -> float:
+        return float(self._cardinality(predicate, DIR_OUT)[0])
 
 
 @dataclass

@@ -174,6 +174,34 @@ class Query:
         """Continuous queries consume at least one stream window."""
         return bool(self.windows)
 
+    def cache_key(self) -> Tuple:
+        """A hashable normalized form of this query's semantics.
+
+        Two queries with equal keys plan, compile and execute identically,
+        so the key addresses compiled-plan caches.  The registration name
+        is excluded (it never affects evaluation); window specs are sorted
+        by stream name so dict ordering cannot split cache entries.
+        """
+        def pat(p: TriplePattern) -> Tuple:
+            return (p.subject, p.predicate, p.object, p.graph)
+
+        return (
+            tuple(pat(p) for p in self.patterns),
+            tuple(self.select),
+            tuple(sorted((name, w.range_ms, w.step_ms)
+                         for name, w in self.windows.items())),
+            tuple(self.static_graphs),
+            tuple((f.left, f.op, f.right) for f in self.filters),
+            tuple((a.func, a.var, a.alias) for a in self.aggregates),
+            tuple(self.group_by),
+            self.limit,
+            self.offset,
+            self.is_ask,
+            tuple(tuple(pat(p) for p in group) for group in self.optionals),
+            tuple(tuple(tuple(pat(p) for p in branch) for branch in union)
+                  for union in self.unions),
+        )
+
     def variables(self) -> List[str]:
         """All distinct variables mentioned by the patterns (mandatory
         first, then OPTIONAL groups), in first-use order."""

@@ -19,6 +19,19 @@ with how the executor should evaluate it:
     Enumerate vertices from the predicate index (used only when no
     constant or bound variable is available — the non-selective queries of
     the paper's group II start this way).
+
+Cost-aware ordering: with per-predicate cardinality statistics (any
+object exposing ``out_degree(predicate)``, ``in_degree(predicate)`` and
+``index_size(predicate)``; see ``repro.core.stats.PredicateStatistics``)
+the greedy pass breaks ties *within* an access-path class by estimated
+selectivity — constant starts still precede bound expansions precede
+index scans, but among equally-classified candidates the one expected to
+produce the fewest rows runs first, and an index start picks the smallest
+predicate index instead of the first one written.  This is the adaptive,
+statistics-driven plan ordering of Strider (arXiv:1705.05688) adapted to
+exploration plans.  Ordering is deterministic: estimates are pure
+functions of the store's cardinality counters, and the original pattern
+position is the final tie-break.
 """
 
 from __future__ import annotations
@@ -87,13 +100,32 @@ def _score(kind: Optional[str]) -> int:
     return order[kind]
 
 
-def plan_steps(patterns: Sequence[TriplePattern],
-               prebound: Set[str] = frozenset()) -> List[PlannedStep]:
-    """Greedily order a bare pattern list, given already-bound variables.
+def _estimate(pattern: TriplePattern, kind: Optional[str], stats) -> float:
+    """Estimated rows produced per input row for ``pattern`` under ``kind``.
 
-    Used for sub-queries whose seed rows come from elsewhere (e.g. the
-    composite design ships stream-side bindings into the Wukong
-    subcomponent); ``prebound`` names the variables those seeds bind.
+    Constant/bound starts expand through the predicate's average degree
+    on the side being traversed; an index scan enumerates every edge of
+    the predicate.  Without statistics every estimate is 0.0, which
+    reduces the ordering to the purely positional greedy pass.
+    """
+    if stats is None:
+        return 0.0
+    predicate = pattern.predicate
+    if kind in (CONST_SUBJECT, BOUND_SUBJECT):
+        return stats.out_degree(predicate)
+    if kind in (CONST_OBJECT, BOUND_OBJECT):
+        return stats.in_degree(predicate)
+    return stats.index_size(predicate)
+
+
+def plan_order(patterns: Sequence[TriplePattern], stats=None,
+               prebound: Set[str] = frozenset()) -> List[int]:
+    """The greedy pattern ordering, as a permutation of pattern indices.
+
+    Separated from step construction so callers can use the order as a
+    plan-cache key: the order is the only statistics-dependent part of a
+    plan, so ``(normalized AST, order)`` uniquely identifies the compiled
+    plan even as the store's cardinalities drift.
     """
     for pattern in patterns:
         if is_variable(pattern.predicate):
@@ -101,33 +133,62 @@ def plan_steps(patterns: Sequence[TriplePattern],
                 f"variable predicates are unsupported: {pattern}")
     remaining = list(range(len(patterns)))
     bound = set(prebound)
-    steps: List[PlannedStep] = []
+    order: List[int] = []
     while remaining:
         best_idx = None
         best_key = None
         for position, idx in enumerate(remaining):
-            kind = _classify(patterns[idx], bound)
-            key = (_score(kind), position)
+            pattern = patterns[idx]
+            kind = _classify(pattern, bound)
+            key = (_score(kind), _estimate(pattern, kind, stats), position)
             if best_key is None or key < best_key:
                 best_key = key
                 best_idx = idx
         assert best_idx is not None
-        pattern = patterns[best_idx]
+        order.append(best_idx)
+        bound.update(patterns[best_idx].variables())
+        remaining.remove(best_idx)
+    return order
+
+
+def _steps_in_order(patterns: Sequence[TriplePattern],
+                    ordering: Sequence[int],
+                    prebound: Set[str] = frozenset()) -> List[PlannedStep]:
+    """Classify each pattern's access path along a fixed ordering."""
+    steps: List[PlannedStep] = []
+    bound = set(prebound)
+    for idx in ordering:
+        pattern = patterns[idx]
         kind = _classify(pattern, bound) or INDEX_START
         steps.append(PlannedStep(pattern, kind))
         bound.update(pattern.variables())
-        remaining.remove(best_idx)
     return steps
 
 
+def plan_steps(patterns: Sequence[TriplePattern],
+               prebound: Set[str] = frozenset(),
+               stats=None) -> List[PlannedStep]:
+    """Greedily order a bare pattern list, given already-bound variables.
+
+    Used for sub-queries whose seed rows come from elsewhere (e.g. the
+    composite design ships stream-side bindings into the Wukong
+    subcomponent); ``prebound`` names the variables those seeds bind.
+    ``stats`` enables selectivity tie-breaks (see module docstring).
+    """
+    ordering = plan_order(patterns, stats=stats, prebound=prebound)
+    return _steps_in_order(patterns, ordering, prebound=prebound)
+
+
 def plan_query(query: Query,
-               fixed_order: Optional[Sequence[int]] = None) -> ExecutionPlan:
+               fixed_order: Optional[Sequence[int]] = None,
+               stats=None) -> ExecutionPlan:
     """Produce an execution plan for ``query``.
 
     With ``fixed_order`` (a permutation of pattern indices) the planner
     keeps that exact order and only classifies the access path of each
     step; benchmarks use this to reproduce the paper's deliberately
-    sub-optimal composite plans (Fig. 4b).
+    sub-optimal composite plans (Fig. 4b).  ``stats`` (mutually exclusive
+    with ``fixed_order``) orders patterns by estimated selectivity.
     """
     for pattern in query.patterns:
         if is_variable(pattern.predicate):
@@ -140,13 +201,6 @@ def plan_query(query: Query,
             raise PlanError(
                 f"fixed_order must permute 0..{len(query.patterns) - 1}: "
                 f"{ordering}")
-        steps: List[PlannedStep] = []
-        bound: Set[str] = set()
-        for idx in ordering:
-            pattern = query.patterns[idx]
-            kind = _classify(pattern, bound) or INDEX_START
-            steps.append(PlannedStep(pattern, kind))
-            bound.update(pattern.variables())
-        return ExecutionPlan(query, steps)
+        return ExecutionPlan(query, _steps_in_order(query.patterns, ordering))
 
-    return ExecutionPlan(query, plan_steps(query.patterns))
+    return ExecutionPlan(query, plan_steps(query.patterns, stats=stats))

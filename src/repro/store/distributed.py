@@ -14,7 +14,7 @@ RDMA").  Without RDMA, the same accesses become TCP round trips.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Protocol
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
 from repro.rdf.string_server import StringServer
@@ -119,16 +119,38 @@ class DistributedStore:
 
         Local keys pay probe+scan; remote keys additionally pay two remote
         reads (key, then value), per the paper's RDMA cost analysis.
+
+        Hot ``(vertex, predicate)`` probes are served from the owner
+        shard's adjacency-segment cache — a wall-clock optimization only:
+        a hit charges exactly the remote reads, hash probe and per-entry
+        scan of an uncached lookup, in the same order, so simulated time
+        is bit-identical.  Inserts invalidate the written key's segment
+        and compaction drops the cache (see ``ShardStore``).
         """
         owner = self.cluster.owner_of(vid)
         key = make_key(vid, eid, d)
         shard = self.shards[owner]
+        cached = shard.cached_adjacency(key, max_sn)
+        if cached is not None:
+            visible, total = cached
+            if owner != home_node:
+                self.cluster.fabric.remote_read(meter, _KEY_BYTES,
+                                                category="network")
+                self.cluster.fabric.remote_read(meter, 16 + 8 * total,
+                                                category="network")
+            meter.charge(shard.cost.hash_probe_ns, category=category)
+            meter.charge(shard.cost.scan_entry_ns, times=len(visible),
+                         category=category)
+            return visible
         if owner != home_node:
             self.cluster.fabric.remote_read(meter, _KEY_BYTES,
                                             category="network")
             self.cluster.fabric.remote_read(meter, shard.value_bytes(key),
                                             category="network")
-        return shard.lookup(key, max_sn=max_sn, meter=meter, category=category)
+        visible = shard.lookup(key, max_sn=max_sn, meter=meter,
+                               category=category)
+        shard.cache_adjacency(key, max_sn, visible)
+        return visible
 
     def span_from(self, home_node: int, span: ValueSpan, owner: int,
                   meter: LatencyMeter, category: str = "store") -> List[int]:
@@ -158,6 +180,21 @@ class DistributedStore:
         return vertices
 
     # -- stats ---------------------------------------------------------------
+    def predicate_cardinality(self, eid: int, d: int) -> Tuple[int, int]:
+        """Cluster-wide ``(entries, distinct keys)`` for ``(eid, d)``.
+
+        Vertices are owned by exactly one shard, so per-shard distinct
+        counts sum to the cluster-wide distinct count.  Maintained at
+        load/injection time; reading it charges nothing (planner input,
+        not a modelled store access).
+        """
+        entries = 0
+        keys = 0
+        for shard in self.shards:
+            entries += shard.predicate_entries(eid, d)
+            keys += shard.predicate_keys(eid, d)
+        return entries, keys
+
     @property
     def num_entries(self) -> int:
         return sum(shard.num_entries for shard in self.shards)

@@ -37,10 +37,27 @@ charges are issued for exactly the same events as the dict-row
 implementation (aggregated per expansion with integer-valued constants,
 so the simulated totals are bit-identical — see DESIGN.md, "Wall-clock vs
 simulated time").
+
+Columnar batch exploration: the in-place, filter-free execution path
+(every one-shot S-query; single-node continuous queries without FILTER)
+keeps the whole binding set as a :class:`_Batch` — one flat column per
+slot — instead of one list per row.  Expanding a step then works on whole
+columns (neighbour-list concatenation, ``[v] * k`` repetition, index
+selections), the per-batch key probes are deduplicated exactly as the
+row path's per-expansion neighbour cache did, and projection zips the
+projected columns straight into result tuples.  BigSR (arXiv:1804.04367)
+motivates the layout: batch/columnar evaluation amortizes per-row
+interpreter overhead for large binding sets.  The charge discipline is
+unchanged — neighbour fetches are issued once per distinct start vertex
+in first-occurrence row order (so even fractional-valued remote-read
+charges accumulate in the same order) and binding charges aggregate with
+integer-valued constants, keeping simulated time bit-identical to the
+row-at-a-time path (guarded by ``tests/core/test_determinism.py``).
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from operator import itemgetter
@@ -205,6 +222,59 @@ class _RowView:
         return slot is not None and self.row[slot] is not None
 
 
+class _Batch:
+    """A binding set in columnar layout: one flat column per slot.
+
+    ``cols[slot]`` is either None (the slot is unbound in every row) or a
+    list of ``nrows`` vids.  Columns are treated as immutable: kernels
+    build new column lists (or share unchanged ones) instead of mutating,
+    so batches may alias columns and store-owned neighbour lists freely.
+    The layout is only used on uniform paths (plain step sequences, where
+    a step binds its slots in *all* rows), never for OPTIONAL-produced
+    mixed rows — those stay row-at-a-time.
+    """
+
+    __slots__ = ("nrows", "cols")
+
+    def __init__(self, nrows: int, cols: List[Optional[List[int]]]):
+        self.nrows = nrows
+        self.cols = cols
+
+    @staticmethod
+    def empty(nslots: int) -> "_Batch":
+        return _Batch(0, [None] * nslots)
+
+    @staticmethod
+    def from_rows(rows: List[SlotRow], nslots: int) -> "_Batch":
+        if not rows:
+            return _Batch.empty(nslots)
+        if not nslots:
+            return _Batch(len(rows), [])
+        cols: List[Optional[List[int]]] = [list(c) for c in zip(*rows)]
+        # Uniform paths bind slots for all rows or none, so checking the
+        # first element classifies the whole column.
+        return _Batch(len(rows),
+                      [None if c[0] is None else c for c in cols])
+
+    def to_rows(self) -> List[SlotRow]:
+        if not self.nrows:
+            return []
+        if not self.cols:
+            return [[] for _ in range(self.nrows)]
+        cols = [c if c is not None else [None] * self.nrows
+                for c in self.cols]
+        return [list(row) for row in zip(*cols)]
+
+    def select(self, indices: List[int]) -> "_Batch":
+        """The sub-batch of the given row indices (columns shared when
+        the selection keeps every row)."""
+        if len(indices) == self.nrows:
+            return self
+        cols = [c if c is None else [c[i] for i in indices]
+                for c in self.cols]
+        return _Batch(len(indices), cols)
+
+
 class GraphExplorer:
     """Executes plans against pluggable store accesses.
 
@@ -217,6 +287,9 @@ class GraphExplorer:
         self.cluster = cluster
         self.cost = cluster.cost
         self.strings = strings
+        #: When set (a dict), wall-clock seconds are accumulated under
+        #: "explore" and "project" per execution (bench instrumentation).
+        self.wall_stats = None
 
     # -- compilation --------------------------------------------------------
     def _compile(self, plan: ExecutionPlan) -> _CompiledPlan:
@@ -254,8 +327,27 @@ class GraphExplorer:
                 mode = "fork_join"
             else:
                 mode = "in_place"
+        wall = self.wall_stats
+        started = time.perf_counter() if wall is not None else 0.0
         if not plan.steps:
             rows = [[None] * compiled.nslots]  # a pure-UNION WHERE block
+        elif mode == "in_place" and compiled.filters_at is None:
+            # Columnar batch fast path: uniform step sequence, no FILTER
+            # schedule.  Falls back to rows at the UNION/OPTIONAL boundary.
+            batch = self._run_steps_batch(compiled,
+                                          access_factory(home_node), meter)
+            if not (compiled.unions or compiled.optionals
+                    or compiled.leftover_filters):
+                if wall is not None:
+                    explored = time.perf_counter()
+                    wall["explore"] = wall.get("explore", 0.0) \
+                        + (explored - started)
+                result = self._project_batch(plan, compiled, batch, meter)
+                if wall is not None:
+                    wall["project"] = wall.get("project", 0.0) \
+                        + (time.perf_counter() - explored)
+                return result
+            rows = batch.to_rows()
         elif mode == "in_place":
             rows = self._run_steps(compiled, access_factory(home_node),
                                    meter)
@@ -283,7 +375,14 @@ class GraphExplorer:
                 compiled.leftover_filters, self.strings.entity_name,
                 first_access.resolve_entity, meter, self.cost, strict=False)
             rows = [view.row for view in views]
-        return self._project(plan, compiled, rows, meter)
+        if wall is not None:
+            explored = time.perf_counter()
+            wall["explore"] = wall.get("explore", 0.0) + (explored - started)
+        result = self._project(plan, compiled, rows, meter)
+        if wall is not None:
+            wall["project"] = wall.get("project", 0.0) \
+                + (time.perf_counter() - explored)
+        return result
 
     def explore(self, steps: Sequence[PlannedStep],
                 access_for: AccessResolver, meter: LatencyMeter,
@@ -483,6 +582,283 @@ class GraphExplorer:
             self.cluster.fabric.bulk_transfer(meter, _ROW_BYTES * largest,
                                               category="network")
         return dict(routed)
+
+    # -- columnar batch exploration -------------------------------------------
+    def _run_steps_batch(self, compiled: _CompiledPlan,
+                         access_for: AccessResolver,
+                         meter: LatencyMeter) -> _Batch:
+        """Run all steps on one node over a columnar batch.
+
+        Charge-equivalent to :meth:`_run_steps` without a FILTER schedule:
+        every store access and binding charge is issued for the same event
+        in the same order.
+        """
+        batch = _Batch(1, [None] * compiled.nslots)
+        for cstep in compiled.steps:
+            batch = self._expand_batch(cstep, batch,
+                                       access_for(cstep.pattern), meter)
+            if not batch.nrows:
+                break
+        return batch
+
+    def _expand_batch(self, cstep: _CompiledStep, batch: _Batch,
+                      access: StoreAccess, meter: LatencyMeter) -> _Batch:
+        eid = access.resolve_predicate(cstep.predicate)
+        if eid is None:
+            return _Batch.empty(len(batch.cols))
+        kind = cstep.kind
+        if kind == CONST_SUBJECT:
+            svid = access.resolve_entity(cstep.subject)
+            if svid is None:
+                return _Batch.empty(len(batch.cols))
+            neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
+            return self._bind_side_batch(batch, cstep.obj_slot, cstep.object,
+                                         neighbors, access, meter)
+        if kind == CONST_OBJECT:
+            ovid = access.resolve_entity(cstep.object)
+            if ovid is None:
+                return _Batch.empty(len(batch.cols))
+            neighbors = access.neighbors(ovid, eid, DIR_IN, meter)
+            return self._bind_side_batch(batch, cstep.subj_slot,
+                                         cstep.subject, neighbors, access,
+                                         meter)
+        if kind == BOUND_SUBJECT:
+            return self._expand_bound_batch(batch, cstep.subj_slot,
+                                            cstep.obj_slot, cstep.object,
+                                            eid, DIR_OUT, access, meter)
+        if kind == BOUND_OBJECT:
+            return self._expand_bound_batch(batch, cstep.obj_slot,
+                                            cstep.subj_slot, cstep.subject,
+                                            eid, DIR_IN, access, meter)
+        if kind == INDEX_START:
+            return self._expand_index_batch(batch, cstep, eid, access, meter)
+        raise PlanError(f"unknown step kind: {kind}")
+
+    def _bind_side_batch(self, batch: _Batch, slot: Optional[int],
+                         term: str, neighbors: List[int],
+                         access: StoreAccess,
+                         meter: LatencyMeter) -> _Batch:
+        """Columnar :meth:`_bind_side`: one shared neighbour list binds or
+        filters one side of the whole batch."""
+        nrows = batch.nrows
+        nslots = len(batch.cols)
+        if slot is None:  # the term is a constant: match, don't bind
+            required = access.resolve_entity(term)
+            if required is None or required not in neighbors:
+                return _Batch.empty(nslots)
+            meter.charge(self.cost.binding_ns, times=nrows,
+                         category="explore")
+            return batch
+        col = batch.cols[slot]
+        if col is not None:  # already bound: membership filter
+            nset = set(neighbors)
+            sel = [i for i, vid in enumerate(col) if vid in nset]
+            if not sel:
+                return _Batch.empty(nslots)
+            meter.charge(self.cost.binding_ns, times=len(sel),
+                         category="explore")
+            return batch.select(sel)
+        k = len(neighbors)
+        if not k:
+            return _Batch.empty(nslots)
+        reps = range(k)
+        out_cols: List[Optional[List[int]]] = []
+        for index, column in enumerate(batch.cols):
+            if index == slot:
+                out_cols.append(list(neighbors) if nrows == 1
+                                else neighbors * nrows)
+            elif column is None:
+                out_cols.append(None)
+            else:
+                out_cols.append([vid for vid in column for _ in reps])
+        meter.charge(self.cost.binding_ns, times=nrows * k,
+                     category="explore")
+        return _Batch(nrows * k, out_cols)
+
+    def _expand_bound_batch(self, batch: _Batch, bound_slot: int,
+                            other_slot: Optional[int], other_term: str,
+                            eid: int, direction: int, access: StoreAccess,
+                            meter: LatencyMeter) -> _Batch:
+        """Columnar :meth:`_expand_bound`: neighbour expansion of a bound
+        column, with key probes deduplicated per batch.
+
+        Neighbour lists are fetched once per distinct start vertex in
+        first-occurrence row order — exactly the row path's per-expansion
+        cache — so even order-sensitive (fractional) remote-read charges
+        accumulate identically.
+        """
+        nslots = len(batch.cols)
+        starts = batch.cols[bound_slot]
+        if starts is None:
+            # Unbound everywhere (unmatched OPTIONAL shape): no row joins.
+            return _Batch.empty(nslots)
+        other_const: Optional[int] = None
+        if other_slot is None:
+            other_const = access.resolve_entity(other_term)
+            if other_const is None:
+                return _Batch.empty(nslots)
+        fetched: Dict[int, List[int]] = {}
+        fetched_get = fetched.get
+        neighbors_of = access.neighbors
+        neighbor_lists: List[List[int]] = []
+        append_list = neighbor_lists.append
+        for start in starts:
+            neighbors = fetched_get(start)
+            if neighbors is None:
+                neighbors = neighbors_of(start, eid, direction, meter)
+                fetched[start] = neighbors
+            append_list(neighbors)
+        other_col = batch.cols[other_slot] if other_slot is not None else None
+        if other_const is not None or other_col is not None:
+            # Membership filter against per-start sets (built lazily, as
+            # the row path does — charge-free bookkeeping either way).
+            sets: Dict[int, set] = {}
+            sets_get = sets.get
+            sel = []
+            append_sel = sel.append
+            for i, start in enumerate(starts):
+                nset = sets_get(start)
+                if nset is None:
+                    nset = sets[start] = set(neighbor_lists[i])
+                wanted = other_const if other_const is not None \
+                    else other_col[i]
+                if wanted in nset:
+                    append_sel(i)
+            if not sel:
+                return _Batch.empty(nslots)
+            meter.charge(self.cost.binding_ns, times=len(sel),
+                         category="explore")
+            return batch.select(sel)
+        # Extend: each row fans out to its start's neighbour list.
+        new_other: List[int] = []
+        extend_other = new_other.extend
+        counts: List[int] = []
+        append_count = counts.append
+        total = 0
+        all_one = True
+        for neighbors in neighbor_lists:
+            k = len(neighbors)
+            if k != 1:
+                all_one = False
+            append_count(k)
+            total += k
+            extend_other(neighbors)
+        if not total:
+            return _Batch.empty(nslots)
+        out_cols: List[Optional[List[int]]] = []
+        for index, column in enumerate(batch.cols):
+            if index == other_slot:
+                out_cols.append(new_other)
+            elif column is None or all_one:
+                out_cols.append(column)
+            else:
+                repeated: List[int] = []
+                append_rep = repeated.append
+                extend_rep = repeated.extend
+                for vid, k in zip(column, counts):
+                    if k == 1:
+                        append_rep(vid)
+                    elif k:
+                        extend_rep([vid] * k)
+                out_cols.append(repeated)
+        meter.charge(self.cost.binding_ns, times=total, category="explore")
+        return _Batch(total, out_cols)
+
+    def _expand_index_batch(self, batch: _Batch, cstep: _CompiledStep,
+                            eid: int, access: StoreAccess,
+                            meter: LatencyMeter) -> _Batch:
+        """Columnar :meth:`_expand_index` for the standard shape (single
+        seed row, subject variable unbound); anything else round-trips
+        through the row kernel.
+
+        The interleaved per-subject charge order (neighbour fetch, then
+        that subject's binding charge) is preserved verbatim.
+        """
+        subj_slot = cstep.subj_slot
+        obj_slot = cstep.obj_slot
+        nslots = len(batch.cols)
+        if batch.nrows != 1 or subj_slot is None \
+                or batch.cols[subj_slot] is not None \
+                or (obj_slot is not None and obj_slot != subj_slot
+                    and batch.cols[obj_slot] is not None):
+            rows = self._expand_index(batch.to_rows(), cstep, eid, access,
+                                      meter)
+            return _Batch.from_rows(rows, nslots)
+        subjects = access.index_vertices(eid, DIR_OUT, meter)
+        required = access.resolve_entity(cstep.object) \
+            if obj_slot is None else None
+        binding_ns = self.cost.binding_ns
+        charge = meter.charge
+        subj_col: List[int] = []
+        obj_col: List[int] = []
+        if obj_slot is None or obj_slot == subj_slot:
+            # Object is a constant (or the subject variable itself):
+            # each subject survives iff the object matches its list.
+            append_subj = subj_col.append
+            for svid in subjects:
+                neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
+                wanted = svid if obj_slot == subj_slot else required
+                if wanted is not None and wanted in neighbors:
+                    append_subj(svid)
+                    charge(binding_ns, category="explore")
+            obj_col = subj_col
+        else:
+            extend_subj = subj_col.extend
+            extend_obj = obj_col.extend
+            for svid in subjects:
+                neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
+                k = len(neighbors)
+                if k:
+                    extend_subj([svid] * k)
+                    extend_obj(neighbors)
+                    charge(binding_ns, times=k, category="explore")
+        nrows = len(subj_col)
+        if not nrows:
+            return _Batch.empty(nslots)
+        out_cols: List[Optional[List[int]]] = []
+        for index, column in enumerate(batch.cols):
+            if index == subj_slot:
+                out_cols.append(subj_col)
+            elif index == obj_slot:
+                out_cols.append(obj_col)
+            elif column is None:
+                out_cols.append(None)
+            else:  # a slot bound before the index start: repeat its value
+                out_cols.append(column * nrows)
+        return _Batch(nrows, out_cols)
+
+    def _project_batch(self, plan: ExecutionPlan, compiled: _CompiledPlan,
+                       batch: _Batch,
+                       meter: LatencyMeter) -> ExecutionResult:
+        """Columnar :meth:`_project`: zip projected columns into tuples."""
+        query = plan.query
+        if query.is_ask:
+            return ExecutionResult(variables=[],
+                                   rows=[()] if batch.nrows else [])
+        if query.aggregates:
+            return self._project(plan, compiled, batch.to_rows(), meter)
+        result = ExecutionResult(
+            variables=[var for var, _ in compiled.project_slots])
+        nrows = batch.nrows
+        proj_cols: List[List[int]] = []
+        for _, slot in compiled.project_slots:
+            column = batch.cols[slot] if slot is not None else None
+            proj_cols.append(column if column is not None else [-1] * nrows)
+        seen = set()
+        add = seen.add
+        out = result.rows
+        append = out.append
+        if proj_cols:
+            for projected in zip(*proj_cols):
+                if projected not in seen:
+                    add(projected)
+                    append(projected)
+        elif nrows:
+            out.append(())
+        meter.charge(self.cost.binding_ns, times=len(out),
+                     category="project")
+        result.rows = _slice(out, query)
+        return result
 
     # -- core exploration -----------------------------------------------------
     def _run_steps(self, compiled: _CompiledPlan,

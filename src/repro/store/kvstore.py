@@ -22,6 +22,21 @@ the index slice that holds them is garbage-collected.
 Index vertices (``[0|p|d]``) are kept in a separate map, deduplicated, and
 are *not* partitioned by the reserved vid 0: each shard indexes its own
 local vertices, which is how Wukong distributes index vertices.
+
+Two wall-clock-only additions serve the one-shot fast path (they never
+change simulated charges):
+
+*Predicate cardinality statistics* — every insert bumps a per
+``(eid, d)`` entry counter; together with the index-vertex member counts
+this yields per-predicate entry/key cardinalities the cost-aware planner
+uses to order triple patterns by estimated selectivity.
+
+*Adjacency-segment cache* — a bounded map from store key to its most
+recently computed ``(max_sn, visible-prefix, total-length)`` so repeated
+probes of hot ``(vertex, predicate)`` keys skip the hash lookup, bisect
+and slice.  Readers still charge exactly the probe/scan (and remote-read)
+costs of an uncached lookup; any insert to a key invalidates its cached
+segment, and compaction drops the whole cache.
 """
 
 from __future__ import annotations
@@ -36,6 +51,13 @@ from repro.sim.cost import CostModel, LatencyMeter, MemoryModel
 
 #: Initially loaded (bulk) data carries the base snapshot number.
 BASE_SN = 0
+
+#: The low bits of a packed key that identify ``(eid, d)`` — the
+#: per-predicate statistics bucket of an adjacency key.
+_PRED_MASK = (1 << 18) - 1
+
+#: Upper bound on cached adjacency segments per shard (FIFO eviction).
+ADJACENCY_CACHE_CAPACITY = 1 << 16
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +127,11 @@ class ShardStore:
         #: so this is exactly ``sns[-1] != BASE_SN``).  Compaction — a
         #: charge-free bookkeeping pass — only needs to visit these.
         self._versioned: Set[Key] = set()
+        #: Entries inserted per ``(eid, d)`` bucket (packed low key bits),
+        #: maintained at load/injection time for the cost-aware planner.
+        self._pred_entries: Dict[int, int] = {}
+        #: key -> (max_sn, visible prefix, total value length); bounded.
+        self._adjacency: Dict[Key, Tuple[Optional[int], List[int], int]] = {}
 
     # -- writes ---------------------------------------------------------
     def insert(self, key: Key, vid: int, sn: int = BASE_SN,
@@ -123,6 +150,10 @@ class ShardStore:
         offset = values.append(vid, sn)
         if sn != BASE_SN:
             self._versioned.add(key)
+        bucket = key & _PRED_MASK
+        self._pred_entries[bucket] = self._pred_entries.get(bucket, 0) + 1
+        if self._adjacency:
+            self._adjacency.pop(key, None)
         if meter is not None:
             meter.charge(self.cost.insert_entry_ns, category="insert")
         return ValueSpan(key, offset, 1)
@@ -156,6 +187,10 @@ class ShardStore:
         distinct SN — with non-decreasing SNs that is an O(1)
         first-vs-last check, preserving the original return value.
         """
+        # Relabelling can change which entries are visible at snapshots
+        # below the bound; drop every cached segment rather than reason
+        # about which survive (compaction is rare and off the hot path).
+        self._adjacency.clear()
         touched = 0
         settled = []
         for key in self._versioned:
@@ -171,6 +206,37 @@ class ShardStore:
                 settled.append(key)
         self._versioned.difference_update(settled)
         return touched
+
+    # -- adjacency-segment cache ---------------------------------------
+    def cached_adjacency(self, key: Key, max_sn: Optional[int]
+                         ) -> Optional[Tuple[List[int], int]]:
+        """The cached ``(visible prefix, total length)`` of ``key`` at
+        ``max_sn``, or None on a miss.  Charge-free: callers must charge
+        exactly what an uncached lookup would."""
+        entry = self._adjacency.get(key)
+        if entry is not None and entry[0] == max_sn:
+            return entry[1], entry[2]
+        return None
+
+    def cache_adjacency(self, key: Key, max_sn: Optional[int],
+                        visible: List[int]) -> None:
+        """Remember ``key``'s visible prefix at ``max_sn`` (FIFO-bounded)."""
+        cache = self._adjacency
+        if len(cache) >= ADJACENCY_CACHE_CAPACITY:
+            del cache[next(iter(cache))]
+        values = self._values.get(key)
+        total = len(values.vids) if values is not None else 0
+        cache[key] = (max_sn, visible, total)
+
+    # -- predicate cardinality statistics --------------------------------
+    def predicate_entries(self, eid: int, d: int) -> int:
+        """Total adjacency entries inserted under ``(eid, d)`` keys."""
+        return self._pred_entries.get((eid << 1) | d, 0)
+
+    def predicate_keys(self, eid: int, d: int) -> int:
+        """Distinct local vertices holding a ``d``-direction ``eid`` edge."""
+        members = self._index_members.get((eid, d))
+        return len(members) if members is not None else 0
 
     # -- reads ------------------------------------------------------------
     def lookup(self, key: Key, max_sn: Optional[int] = None,

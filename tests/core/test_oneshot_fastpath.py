@@ -1,0 +1,172 @@
+"""One-shot fast path: ordering is answer-preserving, caches behave.
+
+Three guarantees of the selectivity-ordered, cached, batched one-shot
+pipeline:
+
+* **Ordering never changes the answer** — seeded property test: for
+  LSBench and CityBench one-shot queries, the statistics-ordered plan,
+  the plain textual-order plan and random seeded pattern orders all
+  produce the same solution set.
+* **Ordering is deterministic** — two identically built engines pick
+  identical plan orders (statistics are pure functions of store state).
+* **The caches are transparent** — the compiled-plan and query-parse
+  caches return reused objects without changing results, stay bounded,
+  and the columnar batch path charges exactly what the row path charges.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.citybench import CityBench, CityBenchConfig
+from repro.bench.harness import build_wukongs
+from repro.bench.lsbench import LSBench, LSBenchConfig
+from repro.core.oneshot import PLAN_CACHE_CAPACITY
+from repro.sim.cost import LatencyMeter
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import plan_order, plan_query
+from repro.store.distributed import PersistentAccess
+
+DURATION_MS = 1_000
+S_QUERIES = ["S1", "S2", "S3", "S4", "S5", "S6"]
+
+#: Ad-hoc one-shot queries over CityBench's static graph (the catalogue
+#: itself is all-continuous).
+CITY_ONESHOTS = [
+    "SELECT ?S ?R WHERE { ?S onRoad ?R }",
+    "SELECT ?L ?R ?A WHERE { ?L nearRoad ?R . ?R inArea ?A }",
+    "SELECT ?X ?Y ?A WHERE { ?X connects ?Y . ?Y inArea ?A }",
+    "SELECT ?S ?A WHERE { ?S ty PollutionSensor . ?S inArea ?A }",
+    "SELECT ?R WHERE { ?R ty Road . ?R inArea Area0 }",
+]
+
+
+@pytest.fixture(scope="module")
+def ls_engine():
+    bench = LSBench(LSBenchConfig.tiny())
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=DURATION_MS)
+    engine.run_until(DURATION_MS)
+    return bench, engine
+
+
+@pytest.fixture(scope="module")
+def city_engine():
+    bench = CityBench(CityBenchConfig.tiny())
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=DURATION_MS)
+    engine.run_until(DURATION_MS)
+    return bench, engine
+
+
+def rows_for_plan(engine, plan):
+    """Execute a prepared plan at the stable snapshot, bypassing caches."""
+    access = PersistentAccess(engine.store, home_node=0,
+                              max_sn=engine.coordinator.stable_sn)
+    result = engine.oneshot_engine.explorer.execute(
+        plan, lambda node: (lambda pattern: access), LatencyMeter(),
+        home_node=0)
+    return result
+
+
+def assert_all_orders_agree(engine, text, rng):
+    parsed = parse_query(text)
+    ordered = engine.oneshot(text)
+    unordered = rows_for_plan(engine, plan_query(parse_query(text)))
+    assert ordered.result.variables == unordered.variables
+    assert set(ordered.result.rows) == set(unordered.rows), text
+    for _ in range(3):
+        order = list(range(len(parsed.patterns)))
+        rng.shuffle(order)
+        shuffled = rows_for_plan(
+            engine, plan_query(parse_query(text), fixed_order=order))
+        assert set(shuffled.rows) == set(unordered.rows), (text, order)
+
+
+@pytest.mark.parametrize("name", S_QUERIES)
+def test_lsbench_ordering_preserves_answers(ls_engine, name):
+    bench, engine = ls_engine
+    rng = random.Random(f"oneshot-order-{name}")
+    assert_all_orders_agree(engine, bench.oneshot_query(name), rng)
+
+
+@pytest.mark.parametrize("text", CITY_ONESHOTS)
+def test_citybench_ordering_preserves_answers(city_engine, text):
+    _, engine = city_engine
+    rng = random.Random(f"oneshot-order-{text}")
+    assert_all_orders_agree(engine, text, rng)
+
+
+def test_lsbench_queries_return_rows(ls_engine):
+    bench, engine = ls_engine
+    for name in ("S1", "S4", "S6"):
+        assert engine.oneshot(bench.oneshot_query(name)).result.rows, name
+
+
+def test_stats_ordering_is_deterministic(ls_engine):
+    bench, engine = ls_engine
+    twin = build_wukongs(LSBench(LSBenchConfig.tiny()), num_nodes=1,
+                         duration_ms=DURATION_MS)
+    twin.run_until(DURATION_MS)
+    for name in S_QUERIES:
+        parsed = parse_query(bench.oneshot_query(name))
+        order = plan_order(parsed.patterns,
+                           stats=engine.oneshot_engine._statistics())
+        again = plan_order(parsed.patterns,
+                           stats=engine.oneshot_engine._statistics())
+        twin_order = plan_order(parsed.patterns,
+                                stats=twin.oneshot_engine._statistics())
+        assert order == again == twin_order, name
+        assert sorted(order) == list(range(len(parsed.patterns)))
+
+
+def test_plan_cache_reuses_compiled_plans(ls_engine):
+    bench, engine = ls_engine
+    parsed = parse_query(bench.oneshot_query("S6"))
+    first = engine.oneshot_engine.plan(parsed)
+    second = engine.oneshot_engine.plan(parsed)
+    assert first is second
+    # An equivalent but separately parsed query hits the same entry.
+    assert engine.oneshot_engine.plan(
+        parse_query(bench.oneshot_query("S6"))) is first
+
+
+def test_plan_cache_stays_bounded(ls_engine):
+    bench, engine = ls_engine
+    for i in range(PLAN_CACHE_CAPACITY + 20):
+        engine.oneshot_engine.plan(
+            parse_query(f"SELECT ?P WHERE {{ ghost{i} po ?P }}"))
+    assert len(engine.oneshot_engine._plan_cache) <= PLAN_CACHE_CAPACITY
+
+
+def test_parse_cache_reuses_parsed_queries(ls_engine):
+    bench, engine = ls_engine
+    text = bench.oneshot_query("S3")
+    engine.oneshot(text)
+    cached = engine._oneshot_parse_cache.get(text)
+    assert cached is not None
+    engine.oneshot(text)
+    assert engine._oneshot_parse_cache.get(text) is cached
+
+
+def test_batch_path_charges_match_row_path(ls_engine):
+    """The columnar kernels must be charge-identical to the row kernels."""
+    bench, engine = ls_engine
+    explorer = engine.oneshot_engine.explorer
+    access = PersistentAccess(engine.store, home_node=0,
+                              max_sn=engine.coordinator.stable_sn)
+
+    def factory(node):
+        return lambda pattern: access
+
+    for name in S_QUERIES:
+        plan = engine.oneshot_engine.plan(
+            parse_query(bench.oneshot_query(name)))
+        compiled = explorer._compile(plan)
+        batch_meter = LatencyMeter()
+        batch_result = explorer.execute(plan, factory, batch_meter,
+                                        home_node=0)
+        row_meter = LatencyMeter()
+        rows = explorer._run_steps(compiled, factory(0), row_meter)
+        row_result = explorer._project(plan, compiled, rows, row_meter)
+        assert batch_result.rows == row_result.rows, name
+        assert batch_meter.ns == row_meter.ns, name
+        assert batch_meter.breakdown_ms == row_meter.breakdown_ms, name

@@ -1,0 +1,117 @@
+"""Adjacency-segment cache: charge equality, invalidation, statistics.
+
+The cache is a wall-clock optimization only — a hit must charge exactly
+the remote reads, hash probe and per-entry scan an uncached lookup
+charges, in the same order, so simulated time never depends on cache
+state.  Inserts invalidate the written key and compaction drops the
+whole cache (visibility at old snapshots may change).
+"""
+
+from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
+from repro.rdf.parser import parse_triples
+from repro.rdf.string_server import StringServer
+from repro.sim.cluster import Cluster
+from repro.sim.cost import LatencyMeter
+from repro.store.distributed import DistributedStore
+from repro.store.kvstore import BASE_SN
+
+
+def build(num_nodes=1):
+    cluster = Cluster(num_nodes=num_nodes)
+    strings = StringServer()
+    store = DistributedStore(cluster, strings)
+    return cluster, strings, store
+
+
+def test_cache_hit_returns_same_neighbors_and_charges():
+    cluster, strings, store = build()
+    store.load(parse_triples("a p b .\na p c ."))
+    a = strings.entity_id("a")
+    p = strings.predicate_id("p")
+
+    miss_meter = LatencyMeter()
+    missed = store.neighbors_from(0, a, p, DIR_OUT, miss_meter)
+    hit_meter = LatencyMeter()
+    hit = store.neighbors_from(0, a, p, DIR_OUT, hit_meter)
+
+    assert hit == missed
+    assert store.shards[0].cached_adjacency(make_key(a, p, DIR_OUT),
+                                            None) is not None
+    assert hit_meter.ns == miss_meter.ns
+
+
+def test_remote_cache_hit_charges_identically():
+    cluster, strings, store = build(num_nodes=2)
+    store.load(parse_triples("a p b .\na p c .\na p d ."))
+    a = strings.entity_id("a")
+    p = strings.predicate_id("p")
+    remote_home = (cluster.owner_of(a) + 1) % 2
+
+    miss_meter = LatencyMeter()
+    missed = store.neighbors_from(remote_home, a, p, DIR_OUT, miss_meter)
+    hit_meter = LatencyMeter()
+    hit = store.neighbors_from(remote_home, a, p, DIR_OUT, hit_meter)
+
+    assert hit == missed
+    assert hit_meter.ns == miss_meter.ns
+
+
+def test_insert_invalidates_written_key():
+    cluster, strings, store = build()
+    store.load(parse_triples("a p b ."))
+    a = strings.entity_id("a")
+    b = strings.entity_id("b")
+    p = strings.predicate_id("p")
+
+    assert store.neighbors_from(0, a, p, DIR_OUT, LatencyMeter()) == [b]
+    # Grow a's adjacency list after it was cached.
+    enc = strings.encode_triple(parse_triples("a p e .")[0])
+    store.insert_encoded(enc, sn=BASE_SN)
+    e = strings.entity_id("e")
+    assert store.neighbors_from(0, a, p, DIR_OUT, LatencyMeter()) == [b, e]
+
+
+def test_cache_entries_are_snapshot_specific():
+    cluster, strings, store = build()
+    store.load(parse_triples("a p b ."))
+    enc = strings.encode_triple(parse_triples("a p c .")[0])
+    store.insert_encoded(enc, sn=BASE_SN + 5)
+    a = strings.entity_id("a")
+    b = strings.entity_id("b")
+    c = strings.entity_id("c")
+    p = strings.predicate_id("p")
+
+    old = store.neighbors_from(0, a, p, DIR_OUT, LatencyMeter(),
+                               max_sn=BASE_SN)
+    assert old == [b]
+    # A different snapshot must not be served from the BASE_SN entry.
+    new = store.neighbors_from(0, a, p, DIR_OUT, LatencyMeter(),
+                               max_sn=BASE_SN + 5)
+    assert new == [b, c]
+
+
+def test_compaction_drops_cached_segments():
+    cluster, strings, store = build()
+    store.load(parse_triples("a p b ."))
+    a = strings.entity_id("a")
+    p = strings.predicate_id("p")
+    key = make_key(a, p, DIR_OUT)
+
+    store.neighbors_from(0, a, p, DIR_OUT, LatencyMeter())
+    assert store.shards[0].cached_adjacency(key, None) is not None
+    store.compact(BASE_SN)
+    assert store.shards[0].cached_adjacency(key, None) is None
+
+
+def test_predicate_cardinality_counts_entries_and_keys():
+    cluster, strings, store = build(num_nodes=2)
+    store.load(parse_triples("a p b .\na p c .\nb p c .\na q b ."))
+    p = strings.predicate_id("p")
+    q = strings.predicate_id("q")
+
+    # p: three edges from two subjects (a, b) onto two objects (b, c).
+    assert store.predicate_cardinality(p, DIR_OUT) == (3, 2)
+    assert store.predicate_cardinality(p, DIR_IN) == (3, 2)
+    assert store.predicate_cardinality(q, DIR_OUT) == (1, 1)
+    # Unknown predicates count as empty.
+    assert store.predicate_cardinality(q + 999, DIR_OUT) == (0, 0)
