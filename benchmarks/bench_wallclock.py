@@ -36,6 +36,18 @@ baseline file (default ``benchmarks/BENCH_wallclock_seed.json``, recorded
 from the pre-fast-path seed), per-scenario speedups are included.
 ``--profile`` additionally runs each scenario once under cProfile and
 prints the top 20 functions by cumulative time.
+
+Observability modes (no timings are recorded in either)::
+
+    python benchmarks/bench_wallclock.py --trace trace.json [--metrics]
+    python benchmarks/bench_wallclock.py --metrics
+
+``--trace PATH`` runs the workload once with the deterministic tracer
+attached, writes a Chrome trace-event file (load it in ``chrome://tracing``
+or Perfetto; timestamps are *simulated* microseconds) and prints a
+flame-style rendering of the slowest one-shot and window activities.
+``--metrics`` prints the engine's metrics registry and stats dashboard
+after the run.  See DESIGN.md §6, "Observability model".
 """
 
 from __future__ import annotations
@@ -150,6 +162,43 @@ def measure(duration_ms: int, repeats: int) -> dict:
     return results
 
 
+def run_traced(duration_ms: int, trace_path=None,
+               show_metrics: bool = False) -> None:
+    """One traced run of the continuous + one-shot workload.
+
+    Uses two nodes so fork-join queries appear in the trace.  Tracing is
+    zero-cost in simulated time but not in wall time, so this mode never
+    records timings.
+    """
+    from repro.core.stats import collect_stats
+    from repro.obs import collect_metrics, render_flame, write_chrome_trace
+
+    bench = _bench()
+    engine = build_wukongs(bench, num_nodes=2, duration_ms=duration_ms)
+    engine.enable_observability()
+    for name in L_QUERIES:
+        engine.register_continuous(bench.continuous_query(name))
+    engine.run_until(duration_ms)
+    for name in S_QUERIES:
+        engine.oneshot(bench.oneshot_query(name))
+
+    if trace_path:
+        write_chrome_trace(engine.tracer, trace_path)
+        print(f"wrote {trace_path} ({len(engine.tracer.spans)} spans)")
+        for kind in ("oneshot", "window"):
+            activities = engine.tracer.activities(kind)
+            if activities:
+                slowest = max(activities, key=lambda span: span.ns)
+                print(f"\nslowest {kind} activity:")
+                print(render_flame(engine.tracer.spans, slowest))
+    if show_metrics:
+        collect_metrics(engine)
+        print("\n== metrics ==")
+        print(engine.metrics.render())
+        print("\n== engine stats ==")
+        print(collect_stats(engine).format())
+
+
 def profile_scenarios(duration_ms: int, top: int = 20) -> None:
     """Run each scenario once under cProfile; print top-N by cumtime."""
     for name, runner in SCENARIOS.items():
@@ -173,7 +222,19 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="also run each scenario once under cProfile "
                              "and print the top 20 functions by cumtime")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="run once with the tracer attached, write a "
+                             "Chrome trace-event file and print flame "
+                             "renderings (records no timings)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="run once and print the metrics registry and "
+                             "stats dashboard (records no timings)")
     args = parser.parse_args(argv)
+
+    if args.trace or args.metrics:
+        run_traced(1_500 if args.quick else 2_500,
+                   trace_path=args.trace, show_metrics=args.metrics)
+        return 0
 
     if args.baseline is None:
         args.baseline = SEED_BASELINE_QUICK if args.quick else SEED_BASELINE

@@ -6,6 +6,11 @@
 # `chaos` and run separately, followed by a drift check of the golden
 # files (scripts/regen_goldens.py --check).
 #
+# The obs stage exports a Chrome trace from a quick traced LSBench run
+# and validates it (schema, lossless round trip, and per-activity
+# critical paths summing bit-identically to the recorded meter latency);
+# see scripts/check_trace.py.
+#
 # The bench-smoke stage runs the wall-clock benchmark in --quick mode
 # (shorter scenarios, fewer repeats) to a scratch file and fails if any
 # scenario retains less than 0.95x of the speedup_vs_seed recorded in the
@@ -23,6 +28,9 @@ PYTHONPATH=src python -m pytest -x -q -m chaos
 
 echo "== golden drift check =="
 python scripts/regen_goldens.py --check
+
+echo "== obs (trace export + critical-path exactness) =="
+PYTHONPATH=src python scripts/check_trace.py
 
 echo "== bench smoke (quick run vs committed BENCH_wallclock.json) =="
 PYTHONPATH=src python benchmarks/bench_wallclock.py --quick \

@@ -164,6 +164,13 @@ class ChaosController:
                        replayed=report.replayed_entries,
                        rejected=report.rejected_entries,
                        rebuilt=list(report.rebuilt_batches))
+            tracer = getattr(engine, "tracer", None)
+            if tracer is not None:
+                tracer.event_span(
+                    "recover", "chaos", ns=report.meter.ns,
+                    anchor_ms=now_ms, node_id=node_id,
+                    replayed=report.replayed_entries,
+                    rejected=report.rejected_entries)
         for node_id in self._straggle_off.pop(tick, ()):
             engine.injectors[node_id].slowdown = 1.0
             self._note(tick, now_ms, "straggle_off", node_id=node_id)

@@ -109,6 +109,9 @@ class ContinuousEngine:
         self.explorer = GraphExplorer(cluster, self.strings)
         self.queries: Dict[str, RegisteredQuery] = {}
         self._next_home = 0
+        #: Observability hooks (attached by ``engine.enable_observability``).
+        self.tracer = None
+        self.metrics = None
 
     # -- registration -------------------------------------------------------
     def register(self, query: Query, now_ms: int,
@@ -223,11 +226,23 @@ class ContinuousEngine:
         """Run one execution of ``registered`` for the window closing at
         ``close_ms`` (callers must ensure readiness)."""
         meter = LatencyMeter()
+        act = self.tracer.begin("window", "continuous", meter,
+                                query=registered.name, close_ms=close_ms,
+                                home_node=registered.home_node) \
+            if self.tracer is not None else None
         meter.charge(self.cluster.cost.task_dispatch_ns, category="dispatch")
         meter.charge(self.cluster.cost.trigger_check_ns, category="trigger")
+        if act is not None:
+            act.mark("dispatch")
         factory = self._access_factory(registered, close_ms)
         result = self.explorer.execute(registered.plan, factory, meter,
                                        home_node=registered.home_node)
+        if act is not None:
+            act.label(rows=len(result.rows))
+            act.end()
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "window_ns", query=registered.name).observe(meter.ns)
         record = ExecutionRecord(close_ms=close_ms, result=result,
                                  meter=meter)
         registered.executions.append(record)

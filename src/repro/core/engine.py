@@ -58,6 +58,15 @@ class EngineConfig:
     fault_tolerance: bool = False
     checkpoint_interval_ms: int = 1_000
     auto_pad_streams: bool = True
+    #: Deterministic tracing (``repro.obs``): off by default; enabling it
+    #: never changes simulated time (spans only read meters).
+    tracing: bool = False
+    #: Record every n-th activity of each kind when tracing is on.
+    trace_sample_every: int = 1
+    #: Per-shard adjacency-segment cache size and eviction policy
+    #: ("fifo" or "lru"); see ``repro.store.kvstore.ShardStore``.
+    adjacency_cache_capacity: int = 1 << 16
+    adjacency_cache_policy: str = "fifo"
     cost: CostModel = field(default_factory=CostModel)
     memory: MemoryModel = field(default_factory=MemoryModel)
 
@@ -98,7 +107,10 @@ class WukongSEngine:
         self.strings = StringServer()
         # Imported here at runtime to avoid a cycle in module docs only.
         from repro.store.distributed import DistributedStore
-        self.store = DistributedStore(self.cluster, self.strings)
+        self.store = DistributedStore(
+            self.cluster, self.strings,
+            adjacency_capacity=cfg.adjacency_cache_capacity,
+            adjacency_policy=cfg.adjacency_cache_policy)
         self.clock = VirtualClock(cfg.stream_start_ms)
 
         self.schemas: Dict[str, StreamSchema] = {}
@@ -152,6 +164,46 @@ class WukongSEngine:
         #: Optional chaos controller (``repro.chaos``); None on the healthy
         #: path, where every hook below short-circuits.
         self.chaos = None
+        #: One-shot parse-cache counters (always on; surfaced by
+        #: ``core.stats.collect_stats`` and ``repro.obs``).
+        self.parse_cache_hits = 0
+        self.parse_cache_misses = 0
+        #: Observability (``repro.obs``): both None unless enabled — the
+        #: hot paths gate every hook on that, so trace-off runs pay one
+        #: attribute check per site.
+        self.tracer = None
+        self.metrics = None
+        if cfg.tracing:
+            self.enable_observability(sample_every=cfg.trace_sample_every)
+
+    # -- observability -----------------------------------------------------
+    def enable_observability(self, sample_every: int = 1,
+                             tracer=None, metrics=None):
+        """Attach a :class:`~repro.obs.trace.Tracer` and a
+        :class:`~repro.obs.metrics.MetricsRegistry` to every subsystem.
+
+        Tracing is zero-cost in simulated time (spans only read meters;
+        goldens are unchanged — see ``tests/obs/test_trace_neutrality``)
+        and sampled in wall-clock: ``sample_every=n`` records every n-th
+        activity of each kind.  Returns ``(tracer, metrics)``.
+        """
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+        if tracer is None:
+            tracer = Tracer(sample_every=sample_every, clock=self.clock)
+        elif tracer.clock is None:
+            tracer.clock = self.clock
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.continuous.tracer = tracer
+        self.continuous.metrics = metrics
+        self.continuous.explorer.tracer = tracer
+        self.oneshot_engine.tracer = tracer
+        self.oneshot_engine.metrics = metrics
+        self.oneshot_engine.explorer.tracer = tracer
+        return tracer, metrics
 
     # -- stream wiring -----------------------------------------------------
     def _add_stream_state(self, schema: StreamSchema) -> None:
@@ -214,11 +266,14 @@ class WukongSEngine:
         if isinstance(query, str):
             parsed = self._oneshot_parse_cache.get(query)
             if parsed is None:
+                self.parse_cache_misses += 1
                 parsed = parse_query(query)
                 cache = self._oneshot_parse_cache
                 if len(cache) >= 256:
                     del cache[next(iter(cache))]
                 cache[query] = parsed
+            else:
+                self.parse_cache_hits += 1
         else:
             parsed = query
         contended = bool(self.continuous.queries)
@@ -414,14 +469,21 @@ class WukongSEngine:
     def _inject_batch(self, batch: StreamBatch, sn: int) -> None:
         """Run one batch through Adaptor -> Dispatcher -> Injectors."""
         meter = LatencyMeter()
+        act = self.tracer.begin("inject", "injection", meter,
+                                stream=batch.stream,
+                                batch_no=batch.batch_no, sn=sn) \
+            if self.tracer is not None else None
         adaptor = self.adaptors[batch.stream]
         adapted = adaptor.adapt(batch, meter=meter)
         self._raw_bytes[batch.stream] += \
             self.config.memory.tuple_bytes * adapted.num_tuples
         node_batches = self.dispatchers[batch.stream].dispatch(adapted,
                                                                meter=meter)
+        if act is not None:
+            act.mark("adapt+dispatch")
         needs_index = bool(adapted.timeless)
         index_slice = IndexSlice(batch.batch_no) if needs_index else None
+        group = act.group("insert") if act is not None else None
         branches = []
         for node_id, node_batch in node_batches.items():
             branch = meter.spawn()
@@ -433,10 +495,21 @@ class WukongSEngine:
             branches.append(branch)
             self.coordinator.on_batch_inserted(node_id, batch.stream,
                                                batch.batch_no, meter=branch)
+            if group is not None:
+                group.branch(f"node{node_id}", branch, node=node_id)
         meter.join_parallel(branches)
+        if group is not None:
+            group.close()
         if index_slice is not None:
             self.registry.index(batch.stream).append_slice(index_slice,
                                                            meter=meter)
+        if act is not None:
+            act.mark("index")
+            act.label(num_tuples=adapted.num_tuples)
+            act.end()
+        if self.metrics is not None and adapted.num_tuples:
+            self.metrics.histogram("injection_ns",
+                                   stream=batch.stream).observe(meter.ns)
         self.injection_records.append(InjectionRecord(
             stream=batch.stream, batch_no=batch.batch_no,
             num_tuples=adapted.num_tuples, meter=meter))
@@ -447,7 +520,10 @@ class WukongSEngine:
         from repro.store.kvstore import ShardStore
         self.cluster.kill_node(node_id)
         self.coordinator.mark_node_down(node_id)
-        self.store.shards[node_id] = ShardStore(self.config.cost)
+        self.store.shards[node_id] = ShardStore(
+            self.config.cost,
+            adjacency_capacity=self.config.adjacency_cache_capacity,
+            adjacency_policy=self.config.adjacency_cache_policy)
         for shards in self.transients.values():
             shards[node_id] = TransientStore(
                 shards[node_id].stream, cost=self.config.cost,

@@ -58,6 +58,12 @@ class OneShotEngine:
         self._stats = None  # lazy: avoids a core.stats import cycle
         #: (normalized AST, pattern order) -> planned-and-compiled plan.
         self._plan_cache: Dict[Tuple, ExecutionPlan] = {}
+        #: Wall-clock-only cache effectiveness counters (never charged).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        #: Observability hooks (attached by ``engine.enable_observability``).
+        self.tracer = None
+        self.metrics = None
         #: When set (a dict), wall-clock seconds per phase are accumulated
         #: under "plan" here; the explorer handles "explore"/"project".
         self.wall_stats: Optional[Dict[str, float]] = None
@@ -80,11 +86,14 @@ class OneShotEngine:
         key = (query.cache_key(), tuple(order))
         plan = self._plan_cache.get(key)
         if plan is None:
+            self.plan_cache_misses += 1
             cache = self._plan_cache
             if len(cache) >= PLAN_CACHE_CAPACITY:
                 del cache[next(iter(cache))]
             plan = plan_query(query, fixed_order=order)
             cache[key] = plan
+        else:
+            self.plan_cache_hits += 1
         return plan
 
     def execute(self, query: Query, home_node: Optional[int] = None,
@@ -104,7 +113,13 @@ class OneShotEngine:
             self._next_home += 1
         sn = self.coordinator.stable_sn if snapshot is None else snapshot
         meter = LatencyMeter()
+        act = self.tracer.begin("oneshot", "query", meter, snapshot=sn,
+                                home_node=home_node,
+                                patterns=len(query.patterns)) \
+            if self.tracer is not None else None
         meter.charge(self.cluster.cost.task_dispatch_ns, category="dispatch")
+        if act is not None:
+            act.mark("dispatch")
 
         def factory(node_id):
             access = PersistentAccess(self.store, home_node=node_id,
@@ -117,9 +132,18 @@ class OneShotEngine:
         if wall is not None:
             wall["plan"] = wall.get("plan", 0.0) \
                 + (time.perf_counter() - started)
+        if act is not None:
+            act.mark("plan", steps=len(plan.steps))
         result = self.explorer.execute(plan, factory, meter,
                                        home_node=home_node)
         if contended and self.contention_factor > 0:
             meter.charge(meter.ns * self.contention_factor,
                          category="contention")
+            if act is not None:
+                act.mark("contention")
+        if act is not None:
+            act.label(rows=len(result.rows))
+            act.end()
+        if self.metrics is not None:
+            self.metrics.histogram("oneshot_ns").observe(meter.ns)
         return OneShotRecord(result=result, meter=meter, snapshot=sn)

@@ -91,6 +91,42 @@ class QueryStats:
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss totals of the engine's wall-clock caches.
+
+    All three caches only change wall-clock speed (hits charge exactly
+    what the uncached path would); these counters quantify how often the
+    fast paths fire.
+    """
+
+    plan_hits: int
+    plan_misses: int
+    parse_hits: int
+    parse_misses: int
+    adjacency_hits: int
+    adjacency_misses: int
+    adjacency_evictions: int
+    adjacency_entries: int
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def plan_hit_rate(self) -> float:
+        return self._rate(self.plan_hits, self.plan_misses)
+
+    @property
+    def parse_hit_rate(self) -> float:
+        return self._rate(self.parse_hits, self.parse_misses)
+
+    @property
+    def adjacency_hit_rate(self) -> float:
+        return self._rate(self.adjacency_hits, self.adjacency_misses)
+
+
+@dataclass
 class EngineStats:
     """A full engine snapshot."""
 
@@ -109,6 +145,7 @@ class EngineStats:
     gc_index_freed: int
     streams: List[StreamStats] = field(default_factory=list)
     queries: List[QueryStats] = field(default_factory=list)
+    caches: Optional[CacheStats] = None
 
     def format(self) -> str:
         """A terminal dashboard."""
@@ -124,6 +161,16 @@ class EngineStats:
             f"gc: {self.gc_runs} runs, "
             f"{self.gc_transient_freed + self.gc_index_freed} slices freed",
         ]
+        if self.caches is not None:
+            caches = self.caches
+            lines.append(
+                f"caches: plan {caches.plan_hits}/"
+                f"{caches.plan_hits + caches.plan_misses} hits, "
+                f"parse {caches.parse_hits}/"
+                f"{caches.parse_hits + caches.parse_misses} hits, "
+                f"adjacency {caches.adjacency_hit_rate:.1%} hit rate "
+                f"({caches.adjacency_entries:,} entries, "
+                f"{caches.adjacency_evictions:,} evictions)")
         for stream in self.streams:
             lines.append(
                 f"  stream {stream.name}: batch #{stream.batches_delivered}"
@@ -160,6 +207,19 @@ def collect_stats(engine: WukongSEngine) -> EngineStats:
             transient_bytes=sum(t.memory_bytes() for t in transients),
             raw_bytes=engine.raw_stream_bytes(name),
         ))
+    caches = CacheStats(
+        plan_hits=engine.oneshot_engine.plan_cache_hits,
+        plan_misses=engine.oneshot_engine.plan_cache_misses,
+        parse_hits=engine.parse_cache_hits,
+        parse_misses=engine.parse_cache_misses,
+        adjacency_hits=sum(s.adjacency_hits for s in engine.store.shards),
+        adjacency_misses=sum(s.adjacency_misses
+                             for s in engine.store.shards),
+        adjacency_evictions=sum(s.adjacency_evictions
+                                for s in engine.store.shards),
+        adjacency_entries=sum(len(s._adjacency)
+                              for s in engine.store.shards),
+    )
     queries = []
     for handle in engine.continuous.queries.values():
         latencies = [rec.latency_ms for rec in handle.executions]
@@ -188,4 +248,5 @@ def collect_stats(engine: WukongSEngine) -> EngineStats:
         gc_index_freed=engine.gc.stats.index_slices_freed,
         streams=streams,
         queries=queries,
+        caches=caches,
     )

@@ -1,0 +1,184 @@
+"""Critical-path reconstruction and flame-style rendering of traces.
+
+The critical path of an activity is the chain of spans whose durations
+*account for* the activity meter's reported latency: sequential phases on
+the root track, plus — at every fork/join section — the branch
+``join_parallel`` selected (the first strict maximum, exactly as the
+meter folds branches).
+
+Exactness contract: :func:`critical_path` re-walks the recorded readings
+with the same float operations the meter performed.  Sequential segments
+end at recorded readings (adopted, never re-derived by subtraction), and
+each join is replayed as ``pre + critical_branch_ns``, the literal
+addition :meth:`LatencyMeter.add` executed — so the walked total equals
+the meter's final reading **bit for bit**, and any instrumentation gap or
+branch-accounting error breaks one of the per-join equalities instead of
+hiding in float noise.  ``CriticalPath.exact`` reports whether every
+equality held; the obs CI stage (``scripts/check_trace.py``) fails when
+it does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.trace import ACTIVITY, BRANCH, JOIN, PHASE, Span
+
+
+@dataclass
+class PathSegment:
+    """One link of a critical path."""
+
+    name: str
+    kind: str  # "seq" (root-track interval) or "branch" (joined branch)
+    ns: float
+    labels: Dict = field(default_factory=dict)
+
+
+@dataclass
+class CriticalPath:
+    """The reconstructed chain for one activity."""
+
+    activity: Span
+    segments: List[PathSegment]
+    #: The walked total (== activity meter's final reading when exact).
+    total_ns: float
+    #: Every join equality ``post == pre + critical_branch_ns`` held and
+    #: the chain covered the activity without unexplained readings.
+    exact: bool
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+
+def _index_spans(spans: Sequence[Span]):
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        by_parent.setdefault(span.parent, []).append(span)
+    return by_parent
+
+
+def critical_path(spans: Sequence[Span], activity: Span) -> CriticalPath:
+    """Reconstruct the critical path of ``activity`` from its spans."""
+    if activity.kind != ACTIVITY:
+        raise ValueError(f"not an activity span: {activity!r}")
+    children = _index_spans(spans).get(activity.sid, [])
+    joins = sorted((s for s in children if s.kind == JOIN),
+                   key=lambda s: (s.t0, s.sid))
+    branches: Dict[int, List[Span]] = {}
+    for span in children:
+        if span.kind == BRANCH and span.group is not None:
+            branches.setdefault(span.group, []).append(span)
+
+    segments: List[PathSegment] = []
+    problems: List[str] = []
+    cur = activity.t0
+    for join in joins:
+        if join.t0 < cur:
+            problems.append(
+                f"join {join.name!r} starts at {join.t0} before the "
+                f"walk reached it ({cur})")
+        if join.t0 != cur:
+            segments.append(PathSegment(name="seq", kind="seq",
+                                        ns=join.t0 - cur))
+        # Adopt the recorded reading: sequential work on the root track
+        # is exact by construction (it *is* the meter's accumulation).
+        cur = join.t0
+        group = sorted(branches.get(join.group, []), key=lambda s: s.sid)
+        critical = [s for s in group if s.critical]
+        if len(critical) != 1:
+            problems.append(
+                f"join {join.name!r}: {len(critical)} critical branches "
+                f"recorded (want exactly 1)")
+            cur = join.t1
+            continue
+        chosen = critical[0]
+        # Replay join_parallel's selection: first strict maximum.
+        slowest = None
+        for span in group:
+            if slowest is None or span.t1 > slowest.t1:
+                slowest = span
+        if slowest is not chosen:
+            problems.append(
+                f"join {join.name!r}: marked critical branch "
+                f"{chosen.name!r} is not the first maximum")
+        # The literal float addition the meter performed at the join.
+        walked = cur + chosen.ns
+        if walked != join.t1:
+            problems.append(
+                f"join {join.name!r}: pre ({cur}) + branch "
+                f"({chosen.ns}) = {walked} != post ({join.t1})")
+        segments.append(PathSegment(
+            name=f"{join.name}/{chosen.name}", kind="branch",
+            ns=chosen.ns, labels=dict(chosen.labels)))
+        cur = join.t1
+    if activity.t1 < cur:
+        problems.append(
+            f"activity ends at {activity.t1} before its last join ({cur})")
+    if activity.t1 != cur:
+        segments.append(PathSegment(name="seq", kind="seq",
+                                    ns=activity.t1 - cur))
+    cur = activity.t1
+    total = cur - activity.t0 if activity.t0 else cur
+    meter_ns = activity.labels.get("meter_ns")
+    if meter_ns is not None and total != meter_ns:
+        problems.append(
+            f"walked total {total} != recorded meter_ns {meter_ns}")
+    return CriticalPath(activity=activity, segments=segments,
+                        total_ns=total, exact=not problems,
+                        problems=problems)
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def render_flame(spans: Sequence[Span], activity: Span,
+                 width: int = 40) -> str:
+    """Flame-style text rendering of one activity's span tree.
+
+    Each line shows the span's share of the activity as a bar plus exact
+    simulated duration; branch spans are indented under their join,
+    critical branches marked ``*``.
+    """
+    total = activity.t1 - activity.t0
+    by_parent = _index_spans(spans)
+
+    def bar(ns: float) -> str:
+        frac = ns / total if total else 0.0
+        filled = int(round(frac * width))
+        return "#" * filled + "." * (width - filled)
+
+    lines = [f"{activity.name} [{activity.cat}] "
+             f"total {_fmt_ns(total)} "
+             + " ".join(f"{k}={v}" for k, v in
+                        sorted(activity.labels.items())
+                        if k != "meter_ns")]
+    children = sorted(by_parent.get(activity.sid, []),
+                      key=lambda s: (s.t0, s.sid))
+    groups: Dict[int, List[Span]] = {}
+    for span in children:
+        if span.kind == BRANCH and span.group is not None:
+            groups.setdefault(span.group, []).append(span)
+    for span in children:
+        if span.kind == PHASE and span.ns == 0 and span.name != "plan":
+            continue
+        if span.kind == BRANCH:
+            continue  # rendered under their join below
+        lines.append(f"  {bar(span.ns)} {_fmt_ns(span.ns):>10} "
+                     f"{span.kind}:{span.name}")
+        if span.kind == JOIN:
+            for branch in sorted(groups.get(span.group, []),
+                                 key=lambda s: s.sid):
+                marker = "*" if branch.critical else " "
+                lines.append(f"   {marker} {bar(branch.ns)} "
+                             f"{_fmt_ns(branch.ns):>10} "
+                             f"branch:{branch.name}")
+    return "\n".join(lines)

@@ -21,7 +21,8 @@ from repro.rdf.string_server import StringServer
 from repro.rdf.terms import EncodedTriple, Triple
 from repro.sim.cluster import Cluster
 from repro.sim.cost import LatencyMeter
-from repro.store.kvstore import BASE_SN, ShardStore, ValueSpan
+from repro.store.kvstore import ADJACENCY_CACHE_CAPACITY, BASE_SN, \
+    ShardStore, ValueSpan
 
 #: Approximate wire size of one key descriptor (for remote key lookups).
 _KEY_BYTES = 32
@@ -57,11 +58,17 @@ class StoreAccess(Protocol):
 class DistributedStore:
     """All shards of the persistent store plus placement logic."""
 
-    def __init__(self, cluster: Cluster, strings: StringServer):
+    def __init__(self, cluster: Cluster, strings: StringServer,
+                 adjacency_capacity: int = ADJACENCY_CACHE_CAPACITY,
+                 adjacency_policy: str = "fifo"):
         self.cluster = cluster
         self.strings = strings
+        self.adjacency_capacity = adjacency_capacity
+        self.adjacency_policy = adjacency_policy
         self.shards: List[ShardStore] = [
-            ShardStore(cluster.cost) for _ in range(cluster.num_nodes)
+            ShardStore(cluster.cost, adjacency_capacity=adjacency_capacity,
+                       adjacency_policy=adjacency_policy)
+            for _ in range(cluster.num_nodes)
         ]
 
     # -- loading / injection --------------------------------------------

@@ -290,6 +290,11 @@ class GraphExplorer:
         #: When set (a dict), wall-clock seconds are accumulated under
         #: "explore" and "project" per execution (bench instrumentation).
         self.wall_stats = None
+        #: Observability hook: when a tracer is attached, executions add
+        #: explore/project phase marks and fork-join branch spans to the
+        #: tracer's current activity.  Read-only on meters (zero-cost in
+        #: simulated time).
+        self.tracer = None
 
     # -- compilation --------------------------------------------------------
     def _compile(self, plan: ExecutionPlan) -> _CompiledPlan:
@@ -328,6 +333,9 @@ class GraphExplorer:
             else:
                 mode = "in_place"
         wall = self.wall_stats
+        act = self.tracer.current if self.tracer is not None else None
+        if act is not None and act.meter is not meter:
+            act = None  # the live activity is not this execution's
         started = time.perf_counter() if wall is not None else 0.0
         if not plan.steps:
             rows = [[None] * compiled.nslots]  # a pure-UNION WHERE block
@@ -342,10 +350,14 @@ class GraphExplorer:
                     explored = time.perf_counter()
                     wall["explore"] = wall.get("explore", 0.0) \
                         + (explored - started)
+                if act is not None:
+                    act.mark("explore", mode=mode)
                 result = self._project_batch(plan, compiled, batch, meter)
                 if wall is not None:
                     wall["project"] = wall.get("project", 0.0) \
                         + (time.perf_counter() - explored)
+                if act is not None:
+                    act.mark("project")
                 return result
             rows = batch.to_rows()
         elif mode == "in_place":
@@ -378,10 +390,14 @@ class GraphExplorer:
         if wall is not None:
             explored = time.perf_counter()
             wall["explore"] = wall.get("explore", 0.0) + (explored - started)
+        if act is not None:
+            act.mark("explore", mode=mode)
         result = self._project(plan, compiled, rows, meter)
         if wall is not None:
             wall["project"] = wall.get("project", 0.0) \
                 + (time.perf_counter() - explored)
+        if act is not None:
+            act.mark("project")
         return result
 
     def explore(self, steps: Sequence[PlannedStep],
@@ -499,11 +515,15 @@ class GraphExplorer:
         }
         located: Dict[int, List[SlotRow]] = {
             home_node: [[None] * compiled.nslots]}
+        act = self.tracer.current if self.tracer is not None else None
+        if act is not None and act.meter is not meter:
+            act = None  # the live activity is not this execution's
         for index, cstep in enumerate(compiled.steps):
             routed = self._route(cstep, located, resolvers, meter)
             if not routed:
                 located = {}
                 break
+            group = act.group(f"step{index}") if act is not None else None
             branches = []
             next_located: Dict[int, List[SlotRow]] = {}
             for node_id, rows in routed.items():
@@ -519,11 +539,17 @@ class GraphExplorer:
                 if out:
                     next_located[node_id] = out
                 branches.append(branch)
+                if group is not None:
+                    group.branch(f"node{node_id}", branch, node=node_id,
+                                 rows=len(out))
             meter.join_parallel(branches)
+            if group is not None:
+                group.close()
             located = next_located
             if not located:
                 break
         # Gather partial results back at the home node (parallel sends).
+        group = act.group("gather") if act is not None else None
         gather = []
         all_rows: List[SlotRow] = []
         for node_id, rows in located.items():
@@ -533,7 +559,12 @@ class GraphExplorer:
                     branch, _ROW_BYTES * len(rows), category="network")
             gather.append(branch)
             all_rows.extend(rows)
+            if group is not None:
+                group.branch(f"node{node_id}", branch, node=node_id,
+                             rows=len(rows))
         meter.join_parallel(gather)
+        if group is not None:
+            group.close()
         return all_rows
 
     def _route(self, cstep: _CompiledStep,

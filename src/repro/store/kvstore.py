@@ -56,8 +56,11 @@ BASE_SN = 0
 #: per-predicate statistics bucket of an adjacency key.
 _PRED_MASK = (1 << 18) - 1
 
-#: Upper bound on cached adjacency segments per shard (FIFO eviction).
+#: Default upper bound on cached adjacency segments per shard.
 ADJACENCY_CACHE_CAPACITY = 1 << 16
+
+#: Supported adjacency-cache eviction policies.
+ADJACENCY_POLICIES = ("fifo", "lru")
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,8 +121,20 @@ class _ValueList:
 class ShardStore:
     """The store partition held by one simulated node."""
 
-    def __init__(self, cost: Optional[CostModel] = None):
+    def __init__(self, cost: Optional[CostModel] = None,
+                 adjacency_capacity: int = ADJACENCY_CACHE_CAPACITY,
+                 adjacency_policy: str = "fifo"):
         self.cost = cost if cost is not None else CostModel()
+        if adjacency_policy not in ADJACENCY_POLICIES:
+            raise StoreError(
+                f"unknown adjacency cache policy: {adjacency_policy!r} "
+                f"(want one of {ADJACENCY_POLICIES})")
+        self.adjacency_capacity = adjacency_capacity
+        self.adjacency_policy = adjacency_policy
+        #: Wall-clock-only cache effectiveness counters (never charged).
+        self.adjacency_hits = 0
+        self.adjacency_misses = 0
+        self.adjacency_evictions = 0
         self._values: Dict[Key, _ValueList] = {}
         self._index: Dict[Tuple[int, int], List[int]] = {}
         self._index_members: Dict[Tuple[int, int], Set[int]] = {}
@@ -213,17 +228,32 @@ class ShardStore:
         """The cached ``(visible prefix, total length)`` of ``key`` at
         ``max_sn``, or None on a miss.  Charge-free: callers must charge
         exactly what an uncached lookup would."""
-        entry = self._adjacency.get(key)
+        cache = self._adjacency
+        entry = cache.get(key)
         if entry is not None and entry[0] == max_sn:
+            self.adjacency_hits += 1
+            if self.adjacency_policy == "lru":
+                # Move-to-end: dicts preserve insertion order, so the
+                # front of the dict is always the eviction victim.
+                cache[key] = cache.pop(key)
             return entry[1], entry[2]
+        self.adjacency_misses += 1
         return None
 
     def cache_adjacency(self, key: Key, max_sn: Optional[int],
                         visible: List[int]) -> None:
-        """Remember ``key``'s visible prefix at ``max_sn`` (FIFO-bounded)."""
+        """Remember ``key``'s visible prefix at ``max_sn`` (bounded).
+
+        Eviction victim is the front of the insertion-ordered dict:
+        oldest insert under ``fifo``, least recently used under ``lru``
+        (hits re-insert at the back).
+        """
         cache = self._adjacency
-        if len(cache) >= ADJACENCY_CACHE_CAPACITY:
+        if key in cache:
+            del cache[key]
+        elif len(cache) >= self.adjacency_capacity:
             del cache[next(iter(cache))]
+            self.adjacency_evictions += 1
         values = self._values.get(key)
         total = len(values.vids) if values is not None else 0
         cache[key] = (max_sn, visible, total)

@@ -149,10 +149,10 @@ TIME_SCOPED_QUERY = """
 """
 
 
-def _build_engine(use_rdma: bool) -> WukongSEngine:
+def _build_engine(use_rdma: bool, tracing: bool = False) -> WukongSEngine:
     config = EngineConfig(num_nodes=2, batch_interval_ms=100,
                           use_rdma=use_rdma, gc_every_ticks=10,
-                          gc_retention_ms=4_000)
+                          gc_retention_ms=4_000, tracing=tracing)
     engine = WukongSEngine(
         schemas=[StreamSchema("Tweet_Stream", frozenset({"ga"})),
                  StreamSchema("Like_Stream")],
@@ -172,8 +172,8 @@ def _meter_facts(meter) -> List:
     return [meter.ns, dict(sorted(meter.breakdown_ms.items()))]
 
 
-def _run_variant(use_rdma: bool) -> Dict:
-    engine = _build_engine(use_rdma)
+def _run_variant(use_rdma: bool, tracing: bool = False) -> Dict:
+    engine = _build_engine(use_rdma, tracing=tracing)
     handles = {name: engine.register_continuous(text)
                for name, text in CONTINUOUS_QUERIES.items()}
     oneshots: List = []
@@ -203,10 +203,15 @@ def _run_variant(use_rdma: bool) -> Dict:
             "time_scoped": time_scoped, "injection": injection}
 
 
-def run_workload() -> Dict:
-    """Run the full deterministic scenario; returns all simulated facts."""
-    return {"rdma": _run_variant(use_rdma=True),
-            "tcp": _run_variant(use_rdma=False)}
+def run_workload(tracing: bool = False) -> Dict:
+    """Run the full deterministic scenario; returns all simulated facts.
+
+    ``tracing`` replays the same workload with the observability tracer
+    attached — the facts must be bit-identical either way (the tracer only
+    reads meters; see ``tests/obs/test_trace_neutrality.py``).
+    """
+    return {"rdma": _run_variant(use_rdma=True, tracing=tracing),
+            "tcp": _run_variant(use_rdma=False, tracing=tracing)}
 
 
 def main() -> None:
