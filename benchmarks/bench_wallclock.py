@@ -18,6 +18,14 @@ on a fixed LSBench workload and records the medians in
 ``oneshot``
     S1-S6 one-shot queries over the evolved store.
 
+``distributed``
+    The S-query plans executed in the distributed modes (fork-join and
+    migrate) on a two-node cluster through the columnar batch kernels;
+    the row-kernel timing of the same executions is reported as a
+    ``row_path`` pseudo-phase, and the scenario's ``speedup_vs_seed``
+    entry is the batch-vs-row ratio (the row kernels *are* the seed
+    behaviour for this scenario — no seed baseline file predates it).
+
 Simulated results are guarded separately (``tests/core/test_determinism``):
 optimizations must move these numbers and *only* these numbers.
 
@@ -124,26 +132,74 @@ def run_oneshot_phased(duration_ms: int):
     return elapsed, phases
 
 
+def run_distributed(duration_ms: int, rounds: int = 5):
+    """The S-query plans in the *distributed* modes, batch vs row kernels.
+
+    Two nodes force real fork-join (index starts) and migrate (constant
+    starts) executions; both kernel families charge bit-identical
+    simulated time, so the only thing this scenario measures is how fast
+    the Python gets through them.  The primary timing is the columnar
+    batch path; the row-kernel timing rides along as a pseudo-phase
+    (``row_path``) so the report carries the batch-vs-row speedup.
+    """
+    from repro.sim.cost import LatencyMeter
+    from repro.sparql.parser import parse_query
+    from repro.sparql.planner import INDEX_START
+    from repro.store.distributed import PersistentAccess
+    from repro.store.executor import GraphExplorer
+
+    bench = _bench()
+    engine = build_wukongs(bench, num_nodes=2, duration_ms=duration_ms)
+    engine.run_until(duration_ms)
+    sn = engine.coordinator.stable_sn
+    plans = [engine.oneshot_engine.plan(
+        parse_query(bench.oneshot_query(name))) for name in S_QUERIES]
+    modes = ["fork_join" if plan.steps and plan.steps[0].kind == INDEX_START
+             else "migrate" for plan in plans]
+
+    def factory(node_id):
+        access = PersistentAccess(engine.store, home_node=node_id,
+                                  max_sn=sn)
+        return lambda pattern: access
+
+    def execute_all(explorer):
+        for _ in range(rounds):
+            for plan, mode in zip(plans, modes):
+                explorer.execute(plan, factory, LatencyMeter(), mode=mode)
+
+    batch = GraphExplorer(engine.cluster, engine.store.strings,
+                          use_batch=True)
+    rows = GraphExplorer(engine.cluster, engine.store.strings,
+                         use_batch=False)
+    for plan, mode in zip(plans, modes):
+        # Warm the adjacency-segment caches once so neither kernel
+        # family pays the cold ``lookup`` misses (whichever ran first
+        # would otherwise absorb them all, skewing the comparison).
+        batch.execute(plan, factory, LatencyMeter(), mode=mode)
+    batch_elapsed = _timed(lambda: execute_all(batch))
+    row_elapsed = _timed(lambda: execute_all(rows))
+    return batch_elapsed, {"row_path": row_elapsed}
+
+
 SCENARIOS = {
     "injection": run_injection,
     "continuous": run_continuous,
     "oneshot": run_oneshot_phased,
+    "distributed": run_distributed,
 }
-
-ONESHOT_PHASES = ("plan", "explore", "project")
 
 
 def measure(duration_ms: int, repeats: int) -> dict:
     results = {}
     for name, runner in SCENARIOS.items():
         runs = []
-        phase_runs = {phase: [] for phase in ONESHOT_PHASES}
+        phase_runs = {}
         for _ in range(repeats):
             run = runner(duration_ms)
             if isinstance(run, tuple):
                 run, phases = run
-                for phase in ONESHOT_PHASES:
-                    phase_runs[phase].append(phases.get(phase, 0.0))
+                for phase, value in phases.items():
+                    phase_runs.setdefault(phase, []).append(value)
             runs.append(run)
         results[name] = {
             "median_s": statistics.median(runs),
@@ -151,13 +207,12 @@ def measure(duration_ms: int, repeats: int) -> dict:
         }
         print(f"{name:12s} median {results[name]['median_s']:.3f}s "
               f"({', '.join(f'{r:.3f}' for r in runs)})", flush=True)
-        if any(phase_runs.values()):
+        if phase_runs:
             medians = {phase: statistics.median(values)
-                       for phase, values in phase_runs.items() if values}
+                       for phase, values in phase_runs.items()}
             results[name]["phases_s"] = medians
             breakdown = ", ".join(f"{phase} {medians[phase]:.3f}s"
-                                  for phase in ONESHOT_PHASES
-                                  if phase in medians)
+                                  for phase in sorted(medians))
             print(f"{'':12s} phases: {breakdown}", flush=True)
     return results
 
@@ -250,11 +305,11 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "scenarios": results,
     }
+    speedups = {}
     if args.baseline and os.path.exists(args.baseline):
         with open(args.baseline) as handle:
             baseline = json.load(handle)
         if baseline.get("mode") == report["mode"]:
-            speedups = {}
             for name, result in results.items():
                 base = baseline.get("scenarios", {}).get(name)
                 if base and result["median_s"] > 0:
@@ -263,10 +318,18 @@ def main(argv=None) -> int:
                 name: base["median_s"]
                 for name, base in baseline.get("scenarios", {}).items()
             }
-            report["speedup_vs_seed"] = speedups
-            for name, speedup in speedups.items():
-                print(f"{name:12s} speedup vs seed: {speedup:.2f}x",
-                      flush=True)
+    # The distributed scenario predates no seed baseline: its reference
+    # is the row-kernel path it replaced, timed in the same run.
+    distributed = results.get("distributed")
+    if distributed and distributed["median_s"] > 0:
+        row_path = distributed.get("phases_s", {}).get("row_path")
+        if row_path:
+            speedups["distributed"] = row_path / distributed["median_s"]
+    if speedups:
+        report["speedup_vs_seed"] = speedups
+        for name, speedup in sorted(speedups.items()):
+            print(f"{name:12s} speedup vs seed: {speedup:.2f}x",
+                  flush=True)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=1, sort_keys=True)
         handle.write("\n")

@@ -3,8 +3,16 @@
 Compares ``speedup_vs_seed`` of a fresh ``bench_wallclock.py --quick`` run
 against the committed ``BENCH_wallclock.json`` (recorded in full mode from
 the same tree state).  Each scenario must retain at least ``THRESHOLD``
-(0.95x) of its committed speedup — loose enough for CI noise, tight
-enough to catch a real fast-path regression.
+of its committed speedup.
+
+The floor is deliberately loose: the quick run uses a shorter workload
+and a different (quick-mode) seed baseline than the committed full run,
+and on shared CI machines back-to-back quick runs were observed to swing
+a scenario's speedup by 30-40% on load noise alone.  What the smoke must
+catch is a *fast path falling off* — the batch kernels silently disabled,
+a cache no longer hit — which shows up as a 2-10x collapse, far below
+any noise floor.  0.6x separates those two regimes cleanly; chasing
+single-digit-percent regressions is the full bench's job, not CI's.
 
 Usage::
 
@@ -19,7 +27,7 @@ import json
 import sys
 
 #: Minimum fraction of the committed speedup a smoke run must retain.
-THRESHOLD = 0.95
+THRESHOLD = 0.6
 
 
 def main(argv=None) -> int:
@@ -53,7 +61,7 @@ def main(argv=None) -> int:
         if got < floor:
             failures.append(
                 f"{name}: {got:.2f}x < {floor:.2f}x "
-                f"(0.95 * committed {want:.2f}x)")
+                f"({THRESHOLD} * committed {want:.2f}x)")
 
     if failures:
         print("\nbench smoke FAILED:")

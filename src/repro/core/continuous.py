@@ -96,7 +96,8 @@ class ContinuousEngine:
                  strings: StringServer, registry: StreamIndexRegistry,
                  transients: Dict[str, List[TransientStore]],
                  coordinator: Coordinator, schemas: Dict[str, StreamSchema],
-                 batch_interval_ms: int, stream_start_ms: int = 0):
+                 batch_interval_ms: int, stream_start_ms: int = 0,
+                 use_batch: bool = True):
         self.cluster = cluster
         self.store = store
         self.strings = strings
@@ -106,7 +107,10 @@ class ContinuousEngine:
         self.schemas = schemas
         self.batch_interval_ms = batch_interval_ms
         self.stream_start_ms = stream_start_ms
-        self.explorer = GraphExplorer(cluster, self.strings)
+        # Columnar step kernels for window executions in every mode
+        # (fork-join/migrate included); wall-clock-only.
+        self.explorer = GraphExplorer(cluster, self.strings,
+                                      use_batch=use_batch)
         self.queries: Dict[str, RegisteredQuery] = {}
         self._next_home = 0
         #: Observability hooks (attached by ``engine.enable_observability``).

@@ -67,6 +67,15 @@ class EngineConfig:
     #: ("fifo" or "lru"); see ``repro.store.kvstore.ShardStore``.
     adjacency_cache_capacity: int = 1 << 16
     adjacency_cache_policy: str = "fifo"
+    #: Entries-weighted eviction: interpret the capacity as a budget of
+    #: cached neighbour entries (weight 1 + len(list)) instead of an
+    #: entry count, so one hot high-degree vertex cannot evict a page of
+    #: cheap segments for free.
+    adjacency_cache_weighted: bool = False
+    #: Columnar batch executor kernels (all execution modes); False keeps
+    #: the row-at-a-time kernels.  Wall-clock-only — simulated charges
+    #: are bit-identical either way (tests/store/test_batch_distributed).
+    columnar_batch: bool = True
     cost: CostModel = field(default_factory=CostModel)
     memory: MemoryModel = field(default_factory=MemoryModel)
 
@@ -110,7 +119,8 @@ class WukongSEngine:
         self.store = DistributedStore(
             self.cluster, self.strings,
             adjacency_capacity=cfg.adjacency_cache_capacity,
-            adjacency_policy=cfg.adjacency_cache_policy)
+            adjacency_policy=cfg.adjacency_cache_policy,
+            adjacency_weighted=cfg.adjacency_cache_weighted)
         self.clock = VirtualClock(cfg.stream_start_ms)
 
         self.schemas: Dict[str, StreamSchema] = {}
@@ -140,10 +150,12 @@ class WukongSEngine:
         self.continuous = ContinuousEngine(
             self.cluster, self.store, self.strings, self.registry,
             self.transients, self.coordinator, self.schemas,
-            cfg.batch_interval_ms, cfg.stream_start_ms)
+            cfg.batch_interval_ms, cfg.stream_start_ms,
+            use_batch=cfg.columnar_batch)
         self.oneshot_engine = OneShotEngine(
             self.cluster, self.store, self.coordinator,
-            contention_factor=cfg.oneshot_contention)
+            contention_factor=cfg.oneshot_contention,
+            use_batch=cfg.columnar_batch)
         #: Query text -> parsed AST for repeated one-shot submissions
         #: (bounded; parsing is pure so entries never go stale).
         self._oneshot_parse_cache: Dict[str, Query] = {}
@@ -523,7 +535,8 @@ class WukongSEngine:
         self.store.shards[node_id] = ShardStore(
             self.config.cost,
             adjacency_capacity=self.config.adjacency_cache_capacity,
-            adjacency_policy=self.config.adjacency_cache_policy)
+            adjacency_policy=self.config.adjacency_cache_policy,
+            adjacency_weighted=self.config.adjacency_cache_weighted)
         for shards in self.transients.values():
             shards[node_id] = TransientStore(
                 shards[node_id].stream, cost=self.config.cost,

@@ -40,27 +40,40 @@ class Injector:
         self.store = store
         self.transients = transients
         self.threads = threads
+        #: The cluster's placement stride: a node only holds vids congruent
+        #: to its id modulo num_nodes, so the dispatcher delivers one
+        #: residue class per injector.  Dividing it out re-densifies the
+        #: local key space before thread partitioning (see ``_partition``).
+        self._placement_stride = max(1, len(store.cluster.nodes))
         self.tuples_injected = 0
         #: Straggler multiplier (chaos harness): >1 inflates this node's
         #: injection-branch time by (slowdown-1)x, modelling a server whose
         #: cores are contended.  1.0 on the healthy path charges nothing.
         self.slowdown = 1.0
 
-    #: Fibonacci multiplicative mixing: thread partitioning must not alias
-    #: the cluster's modulo placement (a node only holds vids congruent
-    #: modulo num_nodes, so `vid % threads` would collapse partitions).
-    _MIX = 0x9E3779B97F4A7C15
-
     def _partition(self, tuples: List[EncodedTuple],
                    by_subject: bool) -> List[List[EncodedTuple]]:
-        """Statically split tuples by the key-space partition they touch."""
+        """Statically split tuples by the key-space partition they touch.
+
+        Thread partitioning must not alias the cluster's modulo placement:
+        a node only holds vids congruent to its id modulo num_nodes, so
+        ``vid % threads`` would collapse every local key into one slot
+        whenever num_nodes shares a factor with threads.  Multiplicative
+        mixing is not enough either — the low output bits of a Fibonacci
+        hash stay periodic on a strided key domain, which still bucketed
+        whole residue classes together.  Dividing the placement stride out
+        first makes the node's key space dense again, and round-robin on
+        that local index provably balances: over any dense range of local
+        keys the slot buckets differ in size by at most one.
+        """
         if self.threads == 1:
             return [tuples]
-        parts: List[List[EncodedTuple]] = [[] for _ in range(self.threads)]
+        stride = self._placement_stride
+        threads = self.threads
+        parts: List[List[EncodedTuple]] = [[] for _ in range(threads)]
         for encoded in tuples:
             key_vid = encoded.triple.s if by_subject else encoded.triple.o
-            slot = ((key_vid * self._MIX) >> 32) % self.threads
-            parts[slot].append(encoded)
+            parts[(key_vid // stride) % threads].append(encoded)
         return parts
 
     def inject(self, node_batch: NodeBatch, sn: int,

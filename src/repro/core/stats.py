@@ -40,6 +40,15 @@ class PredicateStatistics:
                         reverse traversal.
     ``index_size(p)``   total ``p`` edges — the enumeration cost of an
                         index-vertex start.
+
+    Constant-specific estimates refine the means with the shards' top-k
+    degree sketches (``ShardStore._TopKSketch``): a constant that is a
+    tracked heavy hitter of its predicate estimates its *own* (sketched)
+    degree, so the planner can tell a hot hashtag from a cold one instead
+    of charging both the mean:
+
+    ``subject_degree(p, term)``  degree of the specific subject constant.
+    ``object_degree(p, term)``   degree of the specific object constant.
     """
 
     def __init__(self, store: DistributedStore):
@@ -62,6 +71,28 @@ class PredicateStatistics:
 
     def index_size(self, predicate: str) -> float:
         return float(self._cardinality(predicate, DIR_OUT)[0])
+
+    def _specific_degree(self, predicate: str, term: str, d: int,
+                         fallback) -> float:
+        eid = self.strings.lookup_predicate(predicate)
+        vid = self.strings.lookup_entity(term)
+        if eid is not None and vid is not None:
+            tracked = self.store.topk_degree(eid, d, vid)
+            if tracked is not None:
+                return float(tracked)
+        return fallback(predicate)
+
+    def subject_degree(self, predicate: str, term: str) -> float:
+        """Fan-out of the specific constant subject ``term`` (sketched
+        degree when tracked, else the predicate's mean out-degree)."""
+        return self._specific_degree(predicate, term, DIR_OUT,
+                                     self.out_degree)
+
+    def object_degree(self, predicate: str, term: str) -> float:
+        """Fan-in of the specific constant object ``term`` (sketched
+        degree when tracked, else the predicate's mean in-degree)."""
+        return self._specific_degree(predicate, term, DIR_IN,
+                                     self.in_degree)
 
 
 @dataclass
@@ -107,6 +138,12 @@ class CacheStats:
     adjacency_misses: int
     adjacency_evictions: int
     adjacency_entries: int
+    #: Executions served by the columnar batch kernels vs the row kernels
+    #: (summed across the continuous and one-shot explorers) — verifies
+    #: which path plans actually took, e.g. that FILTER-bearing one-shots
+    #: stay on the batch path now that filters compile to column ops.
+    batch_executions: int = 0
+    row_executions: int = 0
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -171,6 +208,9 @@ class EngineStats:
                 f"adjacency {caches.adjacency_hit_rate:.1%} hit rate "
                 f"({caches.adjacency_entries:,} entries, "
                 f"{caches.adjacency_evictions:,} evictions)")
+            lines.append(
+                f"executor: {caches.batch_executions:,} batch / "
+                f"{caches.row_executions:,} row executions")
         for stream in self.streams:
             lines.append(
                 f"  stream {stream.name}: batch #{stream.batches_delivered}"
@@ -219,6 +259,10 @@ def collect_stats(engine: WukongSEngine) -> EngineStats:
                                 for s in engine.store.shards),
         adjacency_entries=sum(len(s._adjacency)
                               for s in engine.store.shards),
+        batch_executions=(engine.continuous.explorer.batch_executions
+                          + engine.oneshot_engine.explorer.batch_executions),
+        row_executions=(engine.continuous.explorer.row_executions
+                        + engine.oneshot_engine.explorer.row_executions),
     )
     queries = []
     for handle in engine.continuous.queries.values():

@@ -27,7 +27,12 @@ the greedy pass breaks ties *within* an access-path class by estimated
 selectivity — constant starts still precede bound expansions precede
 index scans, but among equally-classified candidates the one expected to
 produce the fewest rows runs first, and an index start picks the smallest
-predicate index instead of the first one written.  This is the adaptive,
+predicate index instead of the first one written.  When the statistics
+provider additionally exposes per-constant degrees
+(``subject_degree(predicate, term)`` / ``object_degree(predicate,
+term)``, backed by the shards' top-k degree sketches), constant starts
+estimate the *specific* vertex's fan-out, so a heavy-hitter constant no
+longer masquerades as a selective start.  This is the adaptive,
 statistics-driven plan ordering of Strider (arXiv:1705.05688) adapted to
 exploration plans.  Ordering is deterministic: estimates are pure
 functions of the store's cardinality counters, and the original pattern
@@ -111,9 +116,24 @@ def _estimate(pattern: TriplePattern, kind: Optional[str], stats) -> float:
     if stats is None:
         return 0.0
     predicate = pattern.predicate
-    if kind in (CONST_SUBJECT, BOUND_SUBJECT):
+    if kind == CONST_SUBJECT:
+        # A constant start names a *specific* vertex: when the stats
+        # provider tracks per-constant degrees (top-k sketch), use that
+        # vertex's own fan-out instead of the predicate mean, so a hot
+        # constant (e.g. a viral hashtag) is not mistaken for a selective
+        # start.
+        specific = getattr(stats, "subject_degree", None)
+        if specific is not None:
+            return specific(predicate, pattern.subject)
         return stats.out_degree(predicate)
-    if kind in (CONST_OBJECT, BOUND_OBJECT):
+    if kind == BOUND_SUBJECT:
+        return stats.out_degree(predicate)
+    if kind == CONST_OBJECT:
+        specific = getattr(stats, "object_degree", None)
+        if specific is not None:
+            return specific(predicate, pattern.object)
+        return stats.in_degree(predicate)
+    if kind == BOUND_OBJECT:
         return stats.in_degree(predicate)
     return stats.index_size(predicate)
 

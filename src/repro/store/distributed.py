@@ -16,7 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
-from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
+from repro.rdf.ids import (
+    _EID_SHIFT,
+    _VID_SHIFT,
+    DIR_IN,
+    DIR_OUT,
+    make_key,
+)
 from repro.rdf.string_server import StringServer
 from repro.rdf.terms import EncodedTriple, Triple
 from repro.sim.cluster import Cluster
@@ -60,14 +66,17 @@ class DistributedStore:
 
     def __init__(self, cluster: Cluster, strings: StringServer,
                  adjacency_capacity: int = ADJACENCY_CACHE_CAPACITY,
-                 adjacency_policy: str = "fifo"):
+                 adjacency_policy: str = "fifo",
+                 adjacency_weighted: bool = False):
         self.cluster = cluster
         self.strings = strings
         self.adjacency_capacity = adjacency_capacity
         self.adjacency_policy = adjacency_policy
+        self.adjacency_weighted = adjacency_weighted
         self.shards: List[ShardStore] = [
             ShardStore(cluster.cost, adjacency_capacity=adjacency_capacity,
-                       adjacency_policy=adjacency_policy)
+                       adjacency_policy=adjacency_policy,
+                       adjacency_weighted=adjacency_weighted)
             for _ in range(cluster.num_nodes)
         ]
 
@@ -133,9 +142,14 @@ class DistributedStore:
         scan of an uncached lookup, in the same order, so simulated time
         is bit-identical.  Inserts invalidate the written key's segment
         and compaction drops the cache (see ``ShardStore``).
+
+        ``Cluster.owner_of`` (modulo partitioning) and ``make_key`` are
+        inlined here: this is the innermost store probe of every
+        execution, and ``vid``/``eid`` come from the store or the string
+        server, already range-checked on insert.
         """
-        owner = self.cluster.owner_of(vid)
-        key = make_key(vid, eid, d)
+        owner = vid % len(self.cluster.nodes)
+        key = (vid << _VID_SHIFT) | (eid << _EID_SHIFT) | d
         shard = self.shards[owner]
         cached = shard.cached_adjacency(key, max_sn)
         if cached is not None:
@@ -158,6 +172,27 @@ class DistributedStore:
                                category=category)
         shard.cache_adjacency(key, max_sn, visible)
         return visible
+
+    def neighbors_many(self, home_node: int, vids: Iterable[int], eid: int,
+                       d: int, meter: LatencyMeter,
+                       max_sn: Optional[int] = None,
+                       category: str = "store") -> Dict[int, List[int]]:
+        """Batch-shaped neighbour lookup: one fetch per *distinct* vid.
+
+        Fetches run in first-occurrence order over ``vids`` — exactly the
+        order (and the charges) of the executor's per-expansion neighbour
+        cache issuing :meth:`neighbors_from` calls one by one, so even
+        order-sensitive fractional charges accumulate identically.  The
+        columnar batch kernels hand whole start columns here instead of
+        calling through the per-vid access indirection row by row.
+        """
+        fetched: Dict[int, List[int]] = {}
+        fetch = self.neighbors_from
+        for vid in vids:
+            if vid not in fetched:
+                fetched[vid] = fetch(home_node, vid, eid, d, meter,
+                                     max_sn=max_sn, category=category)
+        return fetched
 
     def span_from(self, home_node: int, span: ValueSpan, owner: int,
                   meter: LatencyMeter, category: str = "store") -> List[int]:
@@ -202,6 +237,17 @@ class DistributedStore:
             keys += shard.predicate_keys(eid, d)
         return entries, keys
 
+    def topk_degree(self, eid: int, d: int, vid: int) -> Optional[int]:
+        """``vid``'s tracked ``(eid, d)`` degree from its owner shard's
+        top-k sketch, or None when it is not a tracked heavy hitter.
+
+        A vertex's ``(eid, d)`` adjacency key lives on exactly one shard,
+        so only the owner's sketch can track it.  Charge-free planner
+        input, like :meth:`predicate_cardinality`.
+        """
+        return self.shards[self.cluster.owner_of(vid)].topk_degree(
+            eid, d, vid)
+
     @property
     def num_entries(self) -> int:
         return sum(shard.num_entries for shard in self.shards)
@@ -238,6 +284,12 @@ class PersistentAccess:
                   meter: LatencyMeter) -> List[int]:
         return self.store.neighbors_from(self.home_node, vid, eid, d, meter,
                                          max_sn=self.max_sn)
+
+    def neighbors_many(self, vids: Iterable[int], eid: int, d: int,
+                       meter: LatencyMeter) -> Dict[int, List[int]]:
+        """Deduplicated bulk neighbour fetch (batch-kernel fast path)."""
+        return self.store.neighbors_many(self.home_node, vids, eid, d,
+                                         meter, max_sn=self.max_sn)
 
     def index_vertices(self, eid: int, d: int,
                        meter: LatencyMeter) -> List[int]:

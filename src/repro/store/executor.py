@@ -38,10 +38,10 @@ implementation (aggregated per expansion with integer-valued constants,
 so the simulated totals are bit-identical — see DESIGN.md, "Wall-clock vs
 simulated time").
 
-Columnar batch exploration: the in-place, filter-free execution path
-(every one-shot S-query; single-node continuous queries without FILTER)
-keeps the whole binding set as a :class:`_Batch` — one flat column per
-slot — instead of one list per row.  Expanding a step then works on whole
+Columnar batch exploration: every plain step sequence — in-place,
+fork-join and migrate alike, with or without a FILTER schedule — keeps
+the whole binding set as a :class:`_Batch` — one flat column per slot —
+instead of one list per row.  Expanding a step then works on whole
 columns (neighbour-list concatenation, ``[v] * k`` repetition, index
 selections), the per-batch key probes are deduplicated exactly as the
 row path's per-expansion neighbour cache did, and projection zips the
@@ -53,6 +53,18 @@ in first-occurrence row order (so even fractional-valued remote-read
 charges accumulate in the same order) and binding charges aggregate with
 integer-valued constants, keeping simulated time bit-identical to the
 row-at-a-time path (guarded by ``tests/core/test_determinism.py``).
+
+The distributed modes ship whole column batches between nodes: routing
+is a columnar partition-by-owner (``_Batch.select`` over first-occurrence
+owner groups, so per-node row order matches the row path's appends), each
+per-node branch expands columnar under its own spawned meter, and the
+bulk-message charge per hop is the row path's largest-single-transfer
+formula verbatim.  Step-scheduled FILTERs evaluate as vectorized selects
+over slot columns, memoizing the (charge-free) predicate evaluation per
+distinct operand value; the per-row ``filter_ns`` charges aggregate into
+one integer-valued call.  ``use_batch=False`` keeps the row-at-a-time
+kernels — the differential tests and the wall-clock bench run both paths
+and require identical results, charges and (for the bench) a speedup.
 """
 
 from __future__ import annotations
@@ -60,6 +72,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
+from itertools import chain, repeat
 from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -133,10 +146,60 @@ class _CompiledStep:
             if is_variable(pattern.object) else None
 
 
+class _CompiledFilter:
+    """One FILTER expression with its operands resolved to slot indices.
+
+    Batch evaluation selects surviving row indices over slot columns,
+    memoizing the (charge-free) predicate evaluation per distinct operand
+    value — the verdict of ``filter_matches`` is a pure function of the
+    operand vids, so a memo hit is semantically identical to re-running
+    it.  Filter charges are issued by the caller, aggregated exactly as
+    the row path charges them (``filter_ns`` per row per filter, before
+    any evaluation).
+    """
+
+    __slots__ = ("expr", "left_slot", "right_slot")
+
+    def __init__(self, expr, slots: Dict[str, int]):
+        self.expr = expr
+        self.left_slot = slots.get(expr.left) \
+            if is_variable(expr.left) else None
+        self.right_slot = slots.get(expr.right) \
+            if is_variable(expr.right) else None
+
+    def select(self, batch: "_Batch", indices: List[int], name_of,
+               resolve) -> List[int]:
+        """The sub-list of ``indices`` whose rows satisfy the filter."""
+        from repro.sparql.evaluate import filter_matches
+        expr = self.expr
+        lcol = batch.cols[self.left_slot] \
+            if self.left_slot is not None else None
+        rcol = batch.cols[self.right_slot] \
+            if self.right_slot is not None else None
+        verdicts: Dict[Tuple, bool] = {}
+        out: List[int] = []
+        append = out.append
+        for i in indices:
+            key = (lcol[i] if lcol is not None else None,
+                   rcol[i] if rcol is not None else None)
+            verdict = verdicts.get(key)
+            if verdict is None:
+                row = {}
+                if lcol is not None:
+                    row[expr.left] = lcol[i]
+                if rcol is not None:
+                    row[expr.right] = rcol[i]
+                verdict = verdicts[key] = filter_matches(
+                    expr, row, name_of, resolve)
+            if verdict:
+                append(i)
+        return out
+
+
 class _CompiledPlan:
     """Slot layout + precompiled steps/filters/sub-plans of one plan."""
 
-    __slots__ = ("slots", "nslots", "steps", "filters_at",
+    __slots__ = ("slots", "nslots", "steps", "filters_at", "cfilters_at",
                  "leftover_filters", "unions", "optionals",
                  "project_slots", "project_getter")
 
@@ -161,8 +224,12 @@ class _CompiledPlan:
                 step_vars.append(set(bound))
             self.filters_at, self.leftover_filters = \
                 filters_by_step(query, step_vars)
+            self.cfilters_at = [
+                [_CompiledFilter(expr, self.slots) for expr in step_filters]
+                for step_filters in self.filters_at]
         else:
             self.filters_at, self.leftover_filters = None, []
+            self.cfilters_at = None
 
         # UNION branches and OPTIONAL groups are planned with the variables
         # already bound upstream marked as prebound, exactly as the
@@ -232,17 +299,28 @@ class _Batch:
     The layout is only used on uniform paths (plain step sequences, where
     a step binds its slots in *all* rows), never for OPTIONAL-produced
     mixed rows — those stay row-at-a-time.
+
+    ``distinct`` tracks whether the rows are provably pairwise distinct
+    (over their bound slots).  Expansion kernels prove it forward: a step
+    that extends distinct rows with duplicate-free neighbour lists yields
+    distinct rows again (every input slot value is preserved, so rows
+    from different inputs still differ), and row selections preserve it.
+    Projection uses the flag to skip the result dedup when the projected
+    slots cover every bound slot.  False is always sound — it just means
+    "unknown", and the dedup runs.
     """
 
-    __slots__ = ("nrows", "cols")
+    __slots__ = ("nrows", "cols", "distinct")
 
-    def __init__(self, nrows: int, cols: List[Optional[List[int]]]):
+    def __init__(self, nrows: int, cols: List[Optional[List[int]]],
+                 distinct: bool = False):
         self.nrows = nrows
         self.cols = cols
+        self.distinct = distinct
 
     @staticmethod
     def empty(nslots: int) -> "_Batch":
-        return _Batch(0, [None] * nslots)
+        return _Batch(0, [None] * nslots, distinct=True)
 
     @staticmethod
     def from_rows(rows: List[SlotRow], nslots: int) -> "_Batch":
@@ -252,7 +330,8 @@ class _Batch:
             return _Batch(len(rows), [])
         cols: List[Optional[List[int]]] = [list(c) for c in zip(*rows)]
         # Uniform paths bind slots for all rows or none, so checking the
-        # first element classifies the whole column.
+        # first element classifies the whole column.  Row provenance is
+        # unknown, so ``distinct`` stays False (dedup will run).
         return _Batch(len(rows),
                       [None if c[0] is None else c for c in cols])
 
@@ -267,12 +346,48 @@ class _Batch:
 
     def select(self, indices: List[int]) -> "_Batch":
         """The sub-batch of the given row indices (columns shared when
-        the selection keeps every row)."""
+        the selection keeps every row).  Selections of distinct rows stay
+        distinct (indices are unique by construction)."""
         if len(indices) == self.nrows:
             return self
-        cols = [c if c is None else [c[i] for i in indices]
+        cols = [c if c is None else list(map(c.__getitem__, indices))
                 for c in self.cols]
-        return _Batch(len(indices), cols)
+        return _Batch(len(indices), cols, distinct=self.distinct)
+
+    @staticmethod
+    def concat(parts: List["_Batch"], nslots: int) -> "_Batch":
+        """Row-wise concatenation, preserving part order.
+
+        Parts on a uniform path share the same bound-slot set; a column
+        bound in some parts but not others (never produced by the step
+        kernels) is filled with None for the unbound parts.
+
+        ``distinct`` carries over when every part is distinct: the
+        distributed drivers (the only callers) concatenate per-node parts
+        that descend from disjoint row subsets of one distinct batch — a
+        routing partition, or an index start partitioned by vertex owner
+        — and expansions preserve every input slot value, so rows from
+        different parts always differ on some slot.
+        """
+        parts = [part for part in parts if part.nrows]
+        if not parts:
+            return _Batch.empty(nslots)
+        if len(parts) == 1:
+            return parts[0]
+        nrows = sum(part.nrows for part in parts)
+        cols: List[Optional[List[int]]] = []
+        for slot in range(nslots):
+            if all(part.cols[slot] is None for part in parts):
+                cols.append(None)
+                continue
+            col: List[int] = []
+            for part in parts:
+                source = part.cols[slot]
+                col.extend(source if source is not None
+                           else [None] * part.nrows)
+            cols.append(col)
+        return _Batch(nrows, cols,
+                      distinct=all(part.distinct for part in parts))
 
 
 class GraphExplorer:
@@ -283,10 +398,19 @@ class GraphExplorer:
     plain pattern queries run without it.
     """
 
-    def __init__(self, cluster: Cluster, strings=None):
+    def __init__(self, cluster: Cluster, strings=None,
+                 use_batch: bool = True):
         self.cluster = cluster
         self.cost = cluster.cost
         self.strings = strings
+        #: Columnar batch kernels for the step phase (all modes); False
+        #: keeps the row-at-a-time kernels.  Wall-clock-only: both paths
+        #: issue bit-identical simulated charges.
+        self.use_batch = use_batch
+        #: Wall-clock-only counters: executions whose step phase ran
+        #: columnar vs row-at-a-time (surfaced via ``core.stats``).
+        self.batch_executions = 0
+        self.row_executions = 0
         #: When set (a dict), wall-clock seconds are accumulated under
         #: "explore" and "project" per execution (bench instrumentation).
         self.wall_stats = None
@@ -339,11 +463,23 @@ class GraphExplorer:
         started = time.perf_counter() if wall is not None else 0.0
         if not plan.steps:
             rows = [[None] * compiled.nslots]  # a pure-UNION WHERE block
-        elif mode == "in_place" and compiled.filters_at is None:
-            # Columnar batch fast path: uniform step sequence, no FILTER
-            # schedule.  Falls back to rows at the UNION/OPTIONAL boundary.
-            batch = self._run_steps_batch(compiled,
-                                          access_factory(home_node), meter)
+        elif self.use_batch:
+            # Columnar batch fast path: uniform step sequence in any mode
+            # (FILTER schedules evaluate as vectorized selects).  Falls
+            # back to rows at the UNION/OPTIONAL boundary.
+            if mode == "in_place":
+                batch = self._run_steps_batch(compiled,
+                                              access_factory(home_node),
+                                              meter)
+            elif mode in ("fork_join", "migrate"):
+                batch = self._run_migrate_batch(compiled, access_factory,
+                                                meter, home_node)
+                if mode == "fork_join":
+                    meter.charge(self.cost.join_gather_ns,
+                                 category="gather")
+            else:
+                raise PlanError(f"unknown execution mode: {mode}")
+            self.batch_executions += 1
             if not (compiled.unions or compiled.optionals
                     or compiled.leftover_filters):
                 if wall is not None:
@@ -361,12 +497,15 @@ class GraphExplorer:
                 return result
             rows = batch.to_rows()
         elif mode == "in_place":
+            self.row_executions += 1
             rows = self._run_steps(compiled, access_factory(home_node),
                                    meter)
         elif mode == "fork_join":
+            self.row_executions += 1
             rows = self._run_fork_join(compiled, access_factory, meter,
                                        home_node)
         elif mode == "migrate":
+            self.row_executions += 1
             rows = self._run_migrate(compiled, access_factory, meter,
                                      home_node)
         else:
@@ -489,6 +628,30 @@ class GraphExplorer:
                               filters, self.strings.entity_name,
                               access.resolve_entity, meter, self.cost)
         return [view.row for view in views]
+
+    def _apply_step_filters_batch(self, batch: _Batch,
+                                  cfilters: List[_CompiledFilter],
+                                  access: StoreAccess,
+                                  meter: LatencyMeter) -> _Batch:
+        """Vectorized step-scheduled FILTERs over slot columns.
+
+        The row path charges ``filter_ns`` per row per filter *before*
+        evaluating that row (regardless of the verdict), so the whole
+        block aggregates into one integer-valued charge; evaluation
+        itself is charge-free and memoized per distinct operand value.
+        """
+        if not cfilters or not batch.nrows:
+            return batch
+        meter.charge(self.cost.filter_ns,
+                     times=batch.nrows * len(cfilters), category="filter")
+        name_of = self.strings.entity_name
+        resolve = access.resolve_entity
+        indices = list(range(batch.nrows))
+        for cfilter in cfilters:
+            if not indices:
+                break
+            indices = cfilter.select(batch, indices, name_of, resolve)
+        return batch.select(indices)
 
     # -- fork-join ----------------------------------------------------------
     def _run_fork_join(self, compiled: _CompiledPlan,
@@ -614,26 +777,164 @@ class GraphExplorer:
                                               category="network")
         return dict(routed)
 
+    # -- columnar distributed execution ---------------------------------------
+    def _run_migrate_batch(self, compiled: _CompiledPlan,
+                           access_factory: AccessFactory,
+                           meter: LatencyMeter,
+                           home_node: int) -> _Batch:
+        """Columnar :meth:`_run_migrate`: whole column batches follow the
+        data between nodes.
+
+        Charge-equivalent by construction: routing partitions the merged
+        batch by owner in first-occurrence row order (so per-node row
+        order matches the row path's appends), per-node branches expand
+        under spawned meters joined in the same node order (the
+        first-strict-maximum branch — and with it the merged category
+        breakdown — is the same one), and the gather sends the same
+        per-node row counts.
+        """
+        resolvers: Dict[int, AccessResolver] = {
+            node.node_id: access_factory(node.node_id)
+            for node in self.cluster.alive_nodes()
+        }
+        located: Dict[int, _Batch] = {
+            home_node: _Batch(1, [None] * compiled.nslots, distinct=True)}
+        act = self.tracer.current if self.tracer is not None else None
+        if act is not None and act.meter is not meter:
+            act = None  # the live activity is not this execution's
+        for index, cstep in enumerate(compiled.steps):
+            routed = self._route_batch(cstep, compiled.nslots, located,
+                                       resolvers, meter)
+            if not routed:
+                located = {}
+                break
+            group = act.group(f"step{index}") if act is not None else None
+            branches = []
+            next_located: Dict[int, _Batch] = {}
+            for node_id, batch in routed.items():
+                branch = meter.spawn()
+                access = resolvers[node_id](cstep.pattern)
+                out = self._expand_batch(cstep, batch, access, branch,
+                                         index_owner=node_id
+                                         if cstep.kind == INDEX_START
+                                         else None)
+                if compiled.cfilters_at is not None:
+                    out = self._apply_step_filters_batch(
+                        out, compiled.cfilters_at[index], access, branch)
+                if out.nrows:
+                    next_located[node_id] = out
+                branches.append(branch)
+                if group is not None:
+                    group.branch(f"node{node_id}", branch, node=node_id,
+                                 rows=out.nrows)
+            meter.join_parallel(branches)
+            if group is not None:
+                group.close()
+            located = next_located
+            if not located:
+                break
+        # Gather partial results back at the home node (parallel sends).
+        group = act.group("gather") if act is not None else None
+        gather = []
+        parts: List[_Batch] = []
+        for node_id, batch in located.items():
+            branch = meter.spawn()
+            if node_id != home_node and batch.nrows:
+                self.cluster.fabric.bulk_transfer(
+                    branch, _ROW_BYTES * batch.nrows, category="network")
+            gather.append(branch)
+            parts.append(batch)
+            if group is not None:
+                group.branch(f"node{node_id}", branch, node=node_id,
+                             rows=batch.nrows)
+        meter.join_parallel(gather)
+        if group is not None:
+            group.close()
+        return _Batch.concat(parts, compiled.nslots)
+
+    def _route_batch(self, cstep: _CompiledStep, nslots: int,
+                     located: Dict[int, _Batch],
+                     resolvers: Dict[int, AccessResolver],
+                     meter: LatencyMeter) -> Dict[int, _Batch]:
+        """Columnar :meth:`_route`: partition the merged batch by the
+        owner of each row's start vertex.
+
+        Owner groups are keyed in first-occurrence row order over the
+        concatenated batch — the same node order (and per-node row order)
+        the row path's per-row appends produce — and the migration round
+        charges the row path's largest-single-transfer formula verbatim.
+        """
+        merged = _Batch.concat(list(located.values()), nslots)
+        routed: Dict[int, _Batch] = {}
+        if cstep.kind == INDEX_START:
+            # Broadcast: every node explores its local start vertices.
+            # Columns are immutable, so branches can share the batch.
+            meter.charge(self.cost.fork_ns, times=len(resolvers),
+                         category="fork")
+            for node_id in resolvers:
+                routed[node_id] = merged
+        elif cstep.kind in (CONST_SUBJECT, CONST_OBJECT):
+            term = cstep.subject if cstep.kind == CONST_SUBJECT \
+                else cstep.object
+            any_resolver = next(iter(resolvers.values()))
+            vid = any_resolver(cstep.pattern).resolve_entity(term)
+            if vid is None:
+                return {}
+            routed[self.cluster.owner_of(vid)] = merged
+        else:
+            slot = cstep.subj_slot if cstep.kind == BOUND_SUBJECT \
+                else cstep.obj_slot
+            # Inlined Cluster.owner_of (hash partitioning by modulo): the
+            # per-row method call dominates the partition loop otherwise.
+            num_nodes = len(self.cluster.nodes)
+            groups: Dict[int, List[int]] = {}
+            column = merged.cols[slot]
+            for i, vid in enumerate(column):
+                owner = vid % num_nodes
+                group = groups.get(owner)
+                if group is None:
+                    groups[owner] = [i]
+                else:
+                    group.append(i)
+            routed = {node_id: merged.select(indices)
+                      for node_id, indices in groups.items()}
+        largest = 0
+        for dst, batch in routed.items():
+            stayed_batch = located.get(dst)
+            stayed = stayed_batch.nrows if stayed_batch is not None else 0
+            moving = max(0, batch.nrows - stayed)
+            largest = max(largest, moving)
+        if largest and len(located) == 1 and set(located) == set(routed):
+            largest = 0  # everything already sits on the right node
+        if largest:
+            self.cluster.fabric.bulk_transfer(meter, _ROW_BYTES * largest,
+                                              category="network")
+        return routed
+
     # -- columnar batch exploration -------------------------------------------
     def _run_steps_batch(self, compiled: _CompiledPlan,
                          access_for: AccessResolver,
                          meter: LatencyMeter) -> _Batch:
         """Run all steps on one node over a columnar batch.
 
-        Charge-equivalent to :meth:`_run_steps` without a FILTER schedule:
-        every store access and binding charge is issued for the same event
-        in the same order.
+        Charge-equivalent to :meth:`_run_steps`: every store access,
+        binding and filter charge is issued for the same event in the
+        same order.
         """
-        batch = _Batch(1, [None] * compiled.nslots)
-        for cstep in compiled.steps:
-            batch = self._expand_batch(cstep, batch,
-                                       access_for(cstep.pattern), meter)
+        batch = _Batch(1, [None] * compiled.nslots, distinct=True)
+        for index, cstep in enumerate(compiled.steps):
+            access = access_for(cstep.pattern)
+            batch = self._expand_batch(cstep, batch, access, meter)
+            if compiled.cfilters_at is not None:
+                batch = self._apply_step_filters_batch(
+                    batch, compiled.cfilters_at[index], access, meter)
             if not batch.nrows:
                 break
         return batch
 
     def _expand_batch(self, cstep: _CompiledStep, batch: _Batch,
-                      access: StoreAccess, meter: LatencyMeter) -> _Batch:
+                      access: StoreAccess, meter: LatencyMeter,
+                      index_owner: Optional[int] = None) -> _Batch:
         eid = access.resolve_predicate(cstep.predicate)
         if eid is None:
             return _Batch.empty(len(batch.cols))
@@ -662,7 +963,8 @@ class GraphExplorer:
                                             cstep.subj_slot, cstep.subject,
                                             eid, DIR_IN, access, meter)
         if kind == INDEX_START:
-            return self._expand_index_batch(batch, cstep, eid, access, meter)
+            return self._expand_index_batch(batch, cstep, eid, access, meter,
+                                            index_owner)
         raise PlanError(f"unknown step kind: {kind}")
 
     def _bind_side_batch(self, batch: _Batch, slot: Optional[int],
@@ -704,7 +1006,8 @@ class GraphExplorer:
                 out_cols.append([vid for vid in column for _ in reps])
         meter.charge(self.cost.binding_ns, times=nrows * k,
                      category="explore")
-        return _Batch(nrows * k, out_cols)
+        distinct = batch.distinct and len(set(neighbors)) == k
+        return _Batch(nrows * k, out_cols, distinct=distinct)
 
     def _expand_bound_batch(self, batch: _Batch, bound_slot: int,
                             other_slot: Optional[int], other_term: str,
@@ -728,17 +1031,24 @@ class GraphExplorer:
             other_const = access.resolve_entity(other_term)
             if other_const is None:
                 return _Batch.empty(nslots)
-        fetched: Dict[int, List[int]] = {}
-        fetched_get = fetched.get
-        neighbors_of = access.neighbors
-        neighbor_lists: List[List[int]] = []
-        append_list = neighbor_lists.append
-        for start in starts:
-            neighbors = fetched_get(start)
-            if neighbors is None:
-                neighbors = neighbors_of(start, eid, direction, meter)
-                fetched[start] = neighbors
-            append_list(neighbors)
+        neighbors_many = getattr(access, "neighbors_many", None)
+        if neighbors_many is not None:
+            # Batch-shaped access: the store deduplicates the probes in
+            # first-occurrence order itself (same charges, one call).
+            fetched = neighbors_many(starts, eid, direction, meter)
+            neighbor_lists = list(map(fetched.__getitem__, starts))
+        else:
+            fetched: Dict[int, List[int]] = {}
+            fetched_get = fetched.get
+            neighbors_of = access.neighbors
+            neighbor_lists: List[List[int]] = []
+            append_list = neighbor_lists.append
+            for start in starts:
+                neighbors = fetched_get(start)
+                if neighbors is None:
+                    neighbors = neighbors_of(start, eid, direction, meter)
+                    fetched[start] = neighbors
+                append_list(neighbors)
         other_col = batch.cols[other_slot] if other_slot is not None else None
         if other_const is not None or other_col is not None:
             # Membership filter against per-start sets (built lazily, as
@@ -760,22 +1070,16 @@ class GraphExplorer:
             meter.charge(self.cost.binding_ns, times=len(sel),
                          category="explore")
             return batch.select(sel)
-        # Extend: each row fans out to its start's neighbour list.
-        new_other: List[int] = []
-        extend_other = new_other.extend
-        counts: List[int] = []
-        append_count = counts.append
-        total = 0
-        all_one = True
-        for neighbors in neighbor_lists:
-            k = len(neighbors)
-            if k != 1:
-                all_one = False
-            append_count(k)
-            total += k
-            extend_other(neighbors)
+        # Extend: each row fans out to its start's neighbour list.  The
+        # fan-out is pure bookkeeping (charges are aggregated below), so
+        # it runs entirely in C: counts/concat via map+chain, and bound
+        # columns repeated with per-row itertools.repeat iterators.
+        counts = list(map(len, neighbor_lists))
+        total = sum(counts)
         if not total:
             return _Batch.empty(nslots)
+        all_one = counts.count(1) == len(counts)
+        new_other = list(chain.from_iterable(neighbor_lists))
         out_cols: List[Optional[List[int]]] = []
         for index, column in enumerate(batch.cols):
             if index == other_slot:
@@ -783,27 +1087,27 @@ class GraphExplorer:
             elif column is None or all_one:
                 out_cols.append(column)
             else:
-                repeated: List[int] = []
-                append_rep = repeated.append
-                extend_rep = repeated.extend
-                for vid, k in zip(column, counts):
-                    if k == 1:
-                        append_rep(vid)
-                    elif k:
-                        extend_rep([vid] * k)
-                out_cols.append(repeated)
+                out_cols.append(list(chain.from_iterable(
+                    map(repeat, column, counts))))
         meter.charge(self.cost.binding_ns, times=total, category="explore")
-        return _Batch(total, out_cols)
+        # Distinct rows extended with duplicate-free lists stay distinct;
+        # each distinct probe's list is verified once (charge-free).
+        distinct = batch.distinct and all(
+            len(set(lst)) == len(lst) for lst in fetched.values())
+        return _Batch(total, out_cols, distinct=distinct)
 
     def _expand_index_batch(self, batch: _Batch, cstep: _CompiledStep,
                             eid: int, access: StoreAccess,
-                            meter: LatencyMeter) -> _Batch:
+                            meter: LatencyMeter,
+                            index_owner: Optional[int] = None) -> _Batch:
         """Columnar :meth:`_expand_index` for the standard shape (single
         seed row, subject variable unbound); anything else round-trips
         through the row kernel.
 
         The interleaved per-subject charge order (neighbour fetch, then
-        that subject's binding charge) is preserved verbatim.
+        that subject's binding charge) is preserved verbatim.  With
+        ``index_owner``, only start vertices owned by that node are
+        enumerated (fork-join/migrate branches partition the start set).
         """
         subj_slot = cstep.subj_slot
         obj_slot = cstep.obj_slot
@@ -813,21 +1117,36 @@ class GraphExplorer:
                 or (obj_slot is not None and obj_slot != subj_slot
                     and batch.cols[obj_slot] is not None):
             rows = self._expand_index(batch.to_rows(), cstep, eid, access,
-                                      meter)
+                                      meter, index_owner)
             return _Batch.from_rows(rows, nslots)
-        subjects = access.index_vertices(eid, DIR_OUT, meter)
+        if index_owner is not None:
+            local_fn = getattr(access, "index_vertices_local", None)
+            if local_fn is not None:
+                subjects = local_fn(eid, DIR_OUT, index_owner, meter)
+            else:
+                subjects = [vid
+                            for vid in access.index_vertices(eid, DIR_OUT,
+                                                             meter)
+                            if self.cluster.owner_of(vid) == index_owner]
+        else:
+            subjects = access.index_vertices(eid, DIR_OUT, meter)
         required = access.resolve_entity(cstep.object) \
             if obj_slot is None else None
         binding_ns = self.cost.binding_ns
         charge = meter.charge
+        # Distinct subjects each contribute rows no other subject can
+        # (the subject lands in a column), so the output is distinct iff
+        # the subject list and every fetched list are duplicate-free.
+        distinct = batch.distinct and len(set(subjects)) == len(subjects)
         subj_col: List[int] = []
         obj_col: List[int] = []
         if obj_slot is None or obj_slot == subj_slot:
             # Object is a constant (or the subject variable itself):
             # each subject survives iff the object matches its list.
             append_subj = subj_col.append
+            fetch = access.neighbors
             for svid in subjects:
-                neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
+                neighbors = fetch(svid, eid, DIR_OUT, meter)
                 wanted = svid if obj_slot == subj_slot else required
                 if wanted is not None and wanted in neighbors:
                     append_subj(svid)
@@ -836,13 +1155,16 @@ class GraphExplorer:
         else:
             extend_subj = subj_col.extend
             extend_obj = obj_col.extend
+            fetch = access.neighbors
             for svid in subjects:
-                neighbors = access.neighbors(svid, eid, DIR_OUT, meter)
+                neighbors = fetch(svid, eid, DIR_OUT, meter)
                 k = len(neighbors)
                 if k:
                     extend_subj([svid] * k)
                     extend_obj(neighbors)
                     charge(binding_ns, times=k, category="explore")
+                    if distinct and len(set(neighbors)) != k:
+                        distinct = False
         nrows = len(subj_col)
         if not nrows:
             return _Batch.empty(nslots)
@@ -856,7 +1178,7 @@ class GraphExplorer:
                 out_cols.append(None)
             else:  # a slot bound before the index start: repeat its value
                 out_cols.append(column * nrows)
-        return _Batch(nrows, out_cols)
+        return _Batch(nrows, out_cols, distinct=distinct)
 
     def _project_batch(self, plan: ExecutionPlan, compiled: _CompiledPlan,
                        batch: _Batch,
@@ -872,20 +1194,34 @@ class GraphExplorer:
             variables=[var for var, _ in compiled.project_slots])
         nrows = batch.nrows
         proj_cols: List[List[int]] = []
+        proj_slots = set()
         for _, slot in compiled.project_slots:
             column = batch.cols[slot] if slot is not None else None
+            proj_slots.add(slot)
             proj_cols.append(column if column is not None else [-1] * nrows)
-        seen = set()
-        add = seen.add
-        out = result.rows
-        append = out.append
-        if proj_cols:
-            for projected in zip(*proj_cols):
-                if projected not in seen:
-                    add(projected)
-                    append(projected)
+        # The dedup is skippable when the rows are provably distinct and
+        # every bound slot is projected: projecting a superset of the
+        # bound slots of distinct rows cannot create duplicates (unbound
+        # slots are the constant -1 in every row).
+        bound_slots = {index for index, column in enumerate(batch.cols)
+                       if column is not None}
+        no_dupes = batch.distinct and bound_slots <= proj_slots \
+            and (bound_slots or nrows <= 1)
+        if len(proj_cols) == 1:
+            # First-occurrence dedup in C: dict preserves insertion order,
+            # exactly the seen-set loop of the row kernel.  Single column:
+            # dedup the ints directly, tuple-wrap only the survivors.
+            if no_dupes:
+                out = [(vid,) for vid in proj_cols[0]]
+            else:
+                out = [(vid,) for vid in dict.fromkeys(proj_cols[0])]
+        elif proj_cols:
+            out = list(zip(*proj_cols)) if no_dupes \
+                else list(dict.fromkeys(zip(*proj_cols)))
         elif nrows:
-            out.append(())
+            out = [()]
+        else:
+            out = []
         meter.charge(self.cost.binding_ns, times=len(out),
                      category="project")
         result.rows = _slice(out, query)

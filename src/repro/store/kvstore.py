@@ -54,7 +54,11 @@ BASE_SN = 0
 
 #: The low bits of a packed key that identify ``(eid, d)`` — the
 #: per-predicate statistics bucket of an adjacency key.
-_PRED_MASK = (1 << 18) - 1
+_PRED_BITS = 18
+_PRED_MASK = (1 << _PRED_BITS) - 1
+
+#: Capacity of each per-(predicate, direction) top-k degree sketch.
+TOPK_CAPACITY = 8
 
 #: Default upper bound on cached adjacency segments per shard.
 ADJACENCY_CACHE_CAPACITY = 1 << 16
@@ -118,12 +122,51 @@ class _ValueList:
             self.sns[:cut] = [BASE_SN] * cut
 
 
+class _TopKSketch:
+    """Space-saving heavy-hitter sketch of per-vertex degrees.
+
+    Tracks (approximately) the ``capacity`` highest-degree vertices of one
+    ``(predicate, direction)`` bucket: a tracked vertex's count is exact
+    once it stays resident; an entering vertex inherits the evicted
+    minimum plus one (the standard space-saving overestimate).  Fully
+    deterministic — ties pick the first-inserted key, and insertion order
+    is the deterministic store insertion order — so statistics-driven
+    plan ordering stays reproducible.  Wall-clock-only planner input;
+    maintaining it charges nothing.
+    """
+
+    __slots__ = ("capacity", "counts")
+
+    def __init__(self, capacity: int = TOPK_CAPACITY):
+        self.capacity = capacity
+        self.counts: Dict[int, int] = {}
+
+    def bump(self, vid: int) -> None:
+        counts = self.counts
+        count = counts.get(vid)
+        if count is not None:
+            counts[vid] = count + 1
+            return
+        if len(counts) < self.capacity:
+            counts[vid] = 1
+            return
+        victim = min(counts, key=counts.__getitem__)
+        floor = counts.pop(victim)
+        counts[vid] = floor + 1
+
+    def estimate(self, vid: int) -> Optional[int]:
+        """The tracked degree of ``vid``, or None when it is not a
+        current heavy hitter."""
+        return self.counts.get(vid)
+
+
 class ShardStore:
     """The store partition held by one simulated node."""
 
     def __init__(self, cost: Optional[CostModel] = None,
                  adjacency_capacity: int = ADJACENCY_CACHE_CAPACITY,
-                 adjacency_policy: str = "fifo"):
+                 adjacency_policy: str = "fifo",
+                 adjacency_weighted: bool = False):
         self.cost = cost if cost is not None else CostModel()
         if adjacency_policy not in ADJACENCY_POLICIES:
             raise StoreError(
@@ -131,6 +174,13 @@ class ShardStore:
                 f"(want one of {ADJACENCY_POLICIES})")
         self.adjacency_capacity = adjacency_capacity
         self.adjacency_policy = adjacency_policy
+        #: Entries-weighted (size-aware) eviction: ``adjacency_capacity``
+        #: becomes a budget of cached neighbour entries — each segment
+        #: weighs ``1 + len(visible)`` — so one hot high-degree vertex
+        #: displaces proportionally many cheap segments instead of one.
+        self.adjacency_weighted = adjacency_weighted
+        #: Total weight of the cached segments (maintained either way).
+        self._adjacency_weight = 0
         #: Wall-clock-only cache effectiveness counters (never charged).
         self.adjacency_hits = 0
         self.adjacency_misses = 0
@@ -145,6 +195,8 @@ class ShardStore:
         #: Entries inserted per ``(eid, d)`` bucket (packed low key bits),
         #: maintained at load/injection time for the cost-aware planner.
         self._pred_entries: Dict[int, int] = {}
+        #: Per-bucket top-k degree sketches (hot-constant planner input).
+        self._degree_sketches: Dict[int, _TopKSketch] = {}
         #: key -> (max_sn, visible prefix, total value length); bounded.
         self._adjacency: Dict[Key, Tuple[Optional[int], List[int], int]] = {}
 
@@ -167,8 +219,14 @@ class ShardStore:
             self._versioned.add(key)
         bucket = key & _PRED_MASK
         self._pred_entries[bucket] = self._pred_entries.get(bucket, 0) + 1
+        sketch = self._degree_sketches.get(bucket)
+        if sketch is None:
+            sketch = self._degree_sketches[bucket] = _TopKSketch()
+        sketch.bump(key >> _PRED_BITS)
         if self._adjacency:
-            self._adjacency.pop(key, None)
+            dropped = self._adjacency.pop(key, None)
+            if dropped is not None:
+                self._adjacency_weight -= 1 + len(dropped[1])
         if meter is not None:
             meter.charge(self.cost.insert_entry_ns, category="insert")
         return ValueSpan(key, offset, 1)
@@ -206,6 +264,7 @@ class ShardStore:
         # below the bound; drop every cached segment rather than reason
         # about which survive (compaction is rare and off the hot path).
         self._adjacency.clear()
+        self._adjacency_weight = 0
         touched = 0
         settled = []
         for key in self._versioned:
@@ -246,17 +305,33 @@ class ShardStore:
 
         Eviction victim is the front of the insertion-ordered dict:
         oldest insert under ``fifo``, least recently used under ``lru``
-        (hits re-insert at the back).
+        (hits re-insert at the back).  With ``adjacency_weighted``, the
+        capacity is an entries budget: victims are evicted from the front
+        until the new segment (weight ``1 + len(visible)``) fits — a
+        segment heavier than the whole budget still caches alone, after
+        emptying the cache.
         """
         cache = self._adjacency
+        weight = 1 + len(visible)
         if key in cache:
-            del cache[key]
+            old = cache.pop(key)
+            self._adjacency_weight -= 1 + len(old[1])
+        if self.adjacency_weighted:
+            budget = self.adjacency_capacity
+            while cache and self._adjacency_weight + weight > budget:
+                victim = next(iter(cache))
+                dropped = cache.pop(victim)
+                self._adjacency_weight -= 1 + len(dropped[1])
+                self.adjacency_evictions += 1
         elif len(cache) >= self.adjacency_capacity:
-            del cache[next(iter(cache))]
+            victim = next(iter(cache))
+            dropped = cache.pop(victim)
+            self._adjacency_weight -= 1 + len(dropped[1])
             self.adjacency_evictions += 1
         values = self._values.get(key)
         total = len(values.vids) if values is not None else 0
         cache[key] = (max_sn, visible, total)
+        self._adjacency_weight += weight
 
     # -- predicate cardinality statistics --------------------------------
     def predicate_entries(self, eid: int, d: int) -> int:
@@ -267,6 +342,12 @@ class ShardStore:
         """Distinct local vertices holding a ``d``-direction ``eid`` edge."""
         members = self._index_members.get((eid, d))
         return len(members) if members is not None else 0
+
+    def topk_degree(self, eid: int, d: int, vid: int) -> Optional[int]:
+        """``vid``'s tracked degree under ``(eid, d)``, or None when it is
+        not one of the bucket's current heavy hitters."""
+        sketch = self._degree_sketches.get((eid << 1) | d)
+        return None if sketch is None else sketch.estimate(vid)
 
     # -- reads ------------------------------------------------------------
     def lookup(self, key: Key, max_sn: Optional[int] = None,

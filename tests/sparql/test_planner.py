@@ -75,7 +75,45 @@ def test_plan_steps_with_prebound_variables():
     assert steps[0].kind == BOUND_SUBJECT
 
 
-def test_greedy_keeps_exploration_connected():
+def test_skewed_constant_reorders_plan():
+    """A heavy-hitter constant subject is demoted behind a lighter one.
+
+    Predicate ``p`` has a *low mean* out-degree but the constant ``hot``
+    holds most of its edges; ``q``'s mean is higher but ``hot``'s own
+    ``q``-degree is small.  Mean-only statistics order the ``p`` pattern
+    first (lower mean); the top-k degree sketch knows ``hot``'s actual
+    fan-out and flips the order.
+    """
+    from repro.core.stats import PredicateStatistics
+    from repro.rdf.parser import parse_triples
+    from repro.rdf.string_server import StringServer
+    from repro.sim.cluster import Cluster
+    from repro.sparql.planner import plan_order
+    from repro.store.distributed import DistributedStore
+
+    cluster = Cluster(num_nodes=1)
+    strings = StringServer()
+    store = DistributedStore(cluster, strings)
+    lines = [f"hot p n{i} ." for i in range(6)]          # hot: 6 p-edges
+    lines += [f"s{i} p m{i} ." for i in range(10)]       # 10 cold subjects
+    lines += ["hot q t0 .", "hot q t1 ."]                # hot: 2 q-edges
+    store.load(parse_triples("\n".join(lines)))
+    stats = PredicateStatistics(store)
+
+    # Mean fan-out says p is the cheaper start; hot's own degree says q.
+    assert stats.out_degree("p") < stats.out_degree("q")
+    assert stats.subject_degree("p", "hot") > stats.subject_degree("q", "hot")
+
+    query = parse_query("SELECT ?X ?Y WHERE { hot p ?X . hot q ?Y }")
+
+    class MeanOnly:
+        """The pre-sketch statistics surface (no per-constant degrees)."""
+        out_degree = staticmethod(stats.out_degree)
+        in_degree = staticmethod(stats.in_degree)
+        index_size = staticmethod(stats.index_size)
+
+    assert plan_order(query.patterns, stats=MeanOnly()) == [0, 1]
+    assert plan_order(query.patterns, stats=stats) == [1, 0]
     # Every step after the first should be const or bound, never a fresh
     # index start, when the pattern graph is connected.
     query = parse_query("""

@@ -211,6 +211,84 @@ def test_lru_beats_fifo_on_zipf_skew():
     assert lru > 0.5  # the hot head must mostly hit
 
 
+def test_weighted_eviction_heavy_entry_evicts_multiple():
+    """Under entries-weighted eviction, one heavy segment displaces as
+    many light segments as its weight requires (weight = 1 + entries)."""
+    cluster = Cluster(num_nodes=1)
+    strings = StringServer()
+    store = DistributedStore(cluster, strings, adjacency_capacity=6,
+                             adjacency_weighted=True)
+    # a, b, c: one neighbour each (weight 2); big: three (weight 4).
+    store.load(parse_triples(
+        "a p x .\nb p x .\nc p x .\nbig p x .\nbig p y .\nbig p z ."))
+    p = strings.predicate_id("p")
+    shard = store.shards[0]
+
+    for name in ("a", "b", "c"):
+        store.neighbors_from(0, strings.entity_id(name), p, DIR_OUT,
+                             LatencyMeter())
+    assert len(shard._adjacency) == 3          # weight 6 = budget
+    assert shard.adjacency_evictions == 0
+
+    store.neighbors_from(0, strings.entity_id("big"), p, DIR_OUT,
+                         LatencyMeter())
+    # Fitting weight 4 into a full budget of 6 evicts TWO unit entries.
+    assert shard.adjacency_evictions == 2
+    assert len(shard._adjacency) == 2
+    assert shard.cached_adjacency(
+        make_key(strings.entity_id("big"), p, DIR_OUT), None) is not None
+    # Unweighted count-based eviction would have evicted only one.
+    assert shard.cached_adjacency(
+        make_key(strings.entity_id("a"), p, DIR_OUT), None) is None
+    assert shard.cached_adjacency(
+        make_key(strings.entity_id("b"), p, DIR_OUT), None) is None
+
+
+def test_weighted_over_budget_entry_caches_alone():
+    """A segment heavier than the whole budget empties the cache and then
+    still caches (so repeat probes of the monster key hit)."""
+    cluster = Cluster(num_nodes=1)
+    strings = StringServer()
+    store = DistributedStore(cluster, strings, adjacency_capacity=3,
+                             adjacency_weighted=True)
+    store.load(parse_triples(
+        "a p x .\nbig p w .\nbig p x .\nbig p y .\nbig p z ."))
+    p = strings.predicate_id("p")
+    shard = store.shards[0]
+
+    store.neighbors_from(0, strings.entity_id("a"), p, DIR_OUT,
+                         LatencyMeter())
+    store.neighbors_from(0, strings.entity_id("big"), p, DIR_OUT,
+                         LatencyMeter())
+    assert shard.adjacency_evictions == 1
+    assert len(shard._adjacency) == 1  # big alone, over budget
+    before = shard.adjacency_hits
+    store.neighbors_from(0, strings.entity_id("big"), p, DIR_OUT,
+                         LatencyMeter())
+    assert shard.adjacency_hits == before + 1
+
+
+def test_weighted_charges_identical_to_unweighted():
+    """Size-aware eviction is wall-clock-only: charges never depend on it."""
+    probes = [0, 1, 2, 0, 3, 0, 1, 4, 2, 0]
+
+    def total_ns(weighted):
+        cluster = Cluster(num_nodes=1)
+        strings = StringServer()
+        store = DistributedStore(cluster, strings, adjacency_capacity=4,
+                                 adjacency_weighted=weighted)
+        lines = "\n".join(f"k{i} p x .\nk{i} p y ." for i in range(5))
+        store.load(parse_triples(lines))
+        p = strings.predicate_id("p")
+        vids = [strings.entity_id(f"k{i}") for i in range(5)]
+        meter = LatencyMeter()
+        for index in probes:
+            store.neighbors_from(0, vids[index], p, DIR_OUT, meter)
+        return meter.ns
+
+    assert total_ns(True) == total_ns(False)
+
+
 def test_simulated_charges_identical_across_policies():
     """Eviction policy is wall-clock-only: charges never depend on it."""
     probes = [0, 1, 2, 0, 3, 0, 1, 4, 2, 0]
