@@ -32,7 +32,9 @@ optimizations must move these numbers and *only* these numbers.
 The oneshot scenario additionally reports a per-phase breakdown
 (``plan`` / ``explore`` / ``project`` wall seconds, from the engine's
 ``wall_stats`` instrumentation) so plan-cache and executor changes are
-attributable without a profiler run.
+attributable without a profiler run; the continuous scenario likewise
+reports ``index_read`` (window-view advances plus columnar stream-index
+reads) / ``explore`` / ``project``.
 
 Usage::
 
@@ -100,12 +102,33 @@ def run_injection(duration_ms: int) -> float:
     return _timed(lambda: engine.run_until(duration_ms))
 
 
-def run_continuous(duration_ms: int) -> float:
+def run_continuous(duration_ms: int, phases=None) -> float:
     bench = _bench()
     engine = build_wukongs(bench, num_nodes=1, duration_ms=duration_ms)
     for name in L_QUERIES:
         engine.register_continuous(bench.continuous_query(name))
+    if phases is not None:
+        # Per-phase wall accumulation: window-view advances + columnar
+        # stream-index reads ("index_read"), step execution ("explore"),
+        # and result projection ("project").
+        engine.continuous.wall_stats = phases
+        engine.continuous.explorer.wall_stats = phases
     return _timed(lambda: engine.run_until(duration_ms))
+
+
+def run_continuous_phased(duration_ms: int):
+    phases = {}
+    elapsed = run_continuous(duration_ms, phases=phases)
+    # The access-side "index_read" seconds accrue *inside* the explorer's
+    # "explore" span while window-view advances accrue outside it; fold
+    # both into one index-read phase and report the explore remainder so
+    # the three phases are disjoint.
+    reads = phases.pop("index_read", 0.0)
+    advance = phases.pop("window_advance", 0.0)
+    out = {"index_read": reads + advance,
+           "explore": max(0.0, phases.get("explore", 0.0) - reads),
+           "project": phases.get("project", 0.0)}
+    return elapsed, out
 
 
 def run_oneshot(duration_ms: int, rounds: int = 10, phases=None) -> float:
@@ -183,7 +206,7 @@ def run_distributed(duration_ms: int, rounds: int = 5):
 
 SCENARIOS = {
     "injection": run_injection,
-    "continuous": run_continuous,
+    "continuous": run_continuous_phased,
     "oneshot": run_oneshot_phased,
     "distributed": run_distributed,
 }

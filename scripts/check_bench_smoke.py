@@ -29,6 +29,13 @@ import sys
 #: Minimum fraction of the committed speedup a smoke run must retain.
 THRESHOLD = 0.6
 
+#: Per-scenario overrides.  The continuous scenario gets a tighter floor:
+#: its speedup comes from the columnar window views plus the incremental
+#: window-delta cache, and losing either (views never built, deltas never
+#: hit) collapses the speedup several-fold — well below 0.7x of the
+#: committed figure even on a noisy machine.
+SCENARIO_THRESHOLDS = {"continuous": 0.7}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -49,7 +56,8 @@ def main(argv=None) -> int:
 
     failures = []
     for name, want in sorted(committed.items()):
-        floor = THRESHOLD * want
+        threshold = SCENARIO_THRESHOLDS.get(name, THRESHOLD)
+        floor = threshold * want
         got = smoke.get(name)
         if got is None:
             failures.append(f"{name}: smoke run reports no speedup "
@@ -61,7 +69,7 @@ def main(argv=None) -> int:
         if got < floor:
             failures.append(
                 f"{name}: {got:.2f}x < {floor:.2f}x "
-                f"({THRESHOLD} * committed {want:.2f}x)")
+                f"({threshold} * committed {want:.2f}x)")
 
     if failures:
         print("\nbench smoke FAILED:")

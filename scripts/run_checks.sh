@@ -3,8 +3,10 @@
 #
 # The suite is split so the fast tier stays fast: the chaos suite
 # (fault-injection equivalence, ~seconds but the slowest block) is marked
-# `chaos` and run separately, followed by a drift check of the golden
-# files (scripts/regen_goldens.py --check).
+# `chaos` and run separately, followed by the columnar differential
+# suite (batch vs row window closes must be bit-identical, including
+# under a kill-during-close fault plan; DESIGN.md §4.9) and a drift
+# check of the golden files (scripts/regen_goldens.py --check).
 #
 # The obs stage exports a Chrome trace from a quick traced LSBench run
 # and validates it (schema, lossless round trip, and per-activity
@@ -13,8 +15,9 @@
 #
 # The bench-smoke stage runs the wall-clock benchmark in --quick mode
 # (shorter scenarios, fewer repeats) to a scratch file and fails if any
-# scenario retains less than 0.6x of the speedup_vs_seed recorded in the
-# committed BENCH_wallclock.json (loose on purpose: it catches a fast
+# scenario retains less than its floor (0.6x of the speedup_vs_seed
+# recorded in the committed BENCH_wallclock.json; 0.7x for continuous)
+# (loose on purpose: it catches a fast
 # path falling off, not load noise — see check_bench_smoke.py).  Use
 # `python benchmarks/bench_wallclock.py` (no --quick) for citable numbers
 # and to refresh BENCH_wallclock.json itself.
@@ -26,6 +29,11 @@ PYTHONPATH=src python -m pytest -x -q -m "not chaos"
 
 echo "== chaos suite (fault injection + recovery equivalence) =="
 PYTHONPATH=src python -m pytest -x -q -m chaos
+
+echo "== columnar differential (batch vs row window closes) =="
+PYTHONPATH=src python -m pytest -x -q \
+    tests/core/test_columnar_slice.py \
+    tests/chaos/test_columnar_differential.py
 
 echo "== golden drift check =="
 python scripts/regen_goldens.py --check

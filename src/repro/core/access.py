@@ -10,11 +10,14 @@ transient store) and a snapshot-bounded
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import time
+from typing import Dict, Iterable, List, Optional
 
-from repro.core.stream_index import StreamIndexRegistry
+from repro.core.stream_index import (_EMPTY_SET, _MISSING, ColumnarSlice,
+                                     StreamIndexRegistry)
 from repro.core.transient import TransientStore
-from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
+from repro.rdf.ids import (DIR_IN, DIR_OUT, _EID_SHIFT, _VID_SHIFT,
+                           make_key)
 from repro.rdf.string_server import StringServer
 from repro.sim.cluster import Cluster
 from repro.sim.cost import LatencyMeter
@@ -59,6 +62,17 @@ class WindowAccess:
         Per-node transient stores of this stream.
     home_node:
         The node executing the query (prices remote accesses).
+    columnar:
+        Optional :class:`~repro.core.stream_index.ColumnarSlice` already
+        advanced to ``[first_batch, last_batch]``.  When present, timeless
+        reads serve flat columns from the view and *replay* the row
+        path's simulated charges against its cached geometry — same
+        charges, same order, no per-row span walk.  The view is shared by
+        the accesses of every branch node (charges depend only on
+        ``home_node``, which each access applies itself).
+    wall_stats:
+        Optional dict accumulating wall-clock seconds under
+        ``"index_read"`` (bench phase instrumentation).
     """
 
     def __init__(self, cluster: Cluster, store: DistributedStore,
@@ -66,7 +80,9 @@ class WindowAccess:
                  stream_schema: StreamSchema,
                  transients: List[TransientStore],
                  first_batch: int, last_batch: int, home_node: int = 0,
-                 force_local_index: bool = False):
+                 force_local_index: bool = False,
+                 columnar: Optional[ColumnarSlice] = None,
+                 wall_stats: Optional[dict] = None):
         self.cluster = cluster
         self.store = store
         self.strings = strings
@@ -76,13 +92,30 @@ class WindowAccess:
         self.first_batch = first_batch
         self.last_batch = last_batch
         self.home_node = home_node
+        self.columnar = columnar
+        self.wall_stats = wall_stats
+        self._cost = registry.index(stream_schema.name).cost
         # Registered queries have the index replicated to their node;
         # distributed branches get on-demand replicas (§4.2).
         self._index_local = force_local_index or \
             registry.is_local(stream_schema.name, home_node)
+        #: True when no access through this window can ever price a
+        #: fractional (remote) read: single-node clusters with a local
+        #: index read only local spans and transients.  All remaining
+        #: charges are integers, which sum exactly in any order — so
+        #: callers may freely reorder or aggregate them (the batch
+        #: kernels' fused index-expansion path relies on this).
+        self.charges_commute = self._index_local \
+            and len(cluster.nodes) == 1
         #: eid -> is-timing memo (the schema and string table never remap
         #: an encoded predicate, so the classification is stable).
         self._timing_eids: Dict[int, bool] = {}
+        #: ``(fetched, {start: column})`` of the latest columnar
+        #: :meth:`neighbors_many`, letting the charge-free follow-up hooks
+        #: serve their sets/verdicts from the columns already in hand
+        #: instead of re-probing the view.  Matched by identity on the
+        #: exact ``fetched`` dict the caller passes back.
+        self._last_fetch: Optional[tuple] = None
 
     def _is_timing(self, eid: int) -> bool:
         timing = self._timing_eids.get(eid)
@@ -102,7 +135,134 @@ class WindowAccess:
                   meter: LatencyMeter) -> List[int]:
         if self._is_timing(eid):
             return self._timing_neighbors(vid, eid, d, meter)
+        if self.columnar is not None:
+            return self._timeless_neighbors_columnar(vid, eid, d, meter)
         return self._timeless_neighbors(vid, eid, d, meter)
+
+    def neighbors_many(self, starts: Iterable[int], eid: int, d: int,
+                       meter: LatencyMeter) -> Dict[int, List[int]]:
+        """Neighbour lists for every distinct start, keyed by start.
+
+        Probes deduplicate in first-occurrence order — exactly the batch
+        kernels' per-expansion cache — so charges accumulate identically
+        to calling :meth:`neighbors` per distinct start.  The columnar
+        path additionally aggregates the integer charges of all starts,
+        emitting the pending counters before each (order-sensitive,
+        fractional) remote read: integer partial sums are exact, so the
+        meter stays bit-identical to the row path.
+        """
+        fetched: Dict[int, List[int]] = {}
+        if self._is_timing(eid):
+            for start in starts:
+                if start not in fetched:
+                    fetched[start] = self._timing_neighbors(start, eid, d,
+                                                            meter)
+            return fetched
+        view = self.columnar
+        if view is None:
+            for start in starts:
+                if start not in fetched:
+                    fetched[start] = self._timeless_neighbors(start, eid,
+                                                              d, meter)
+            return fetched
+        wall = self.wall_stats
+        started = time.perf_counter() if wall is not None else 0.0
+        cost = self._cost
+        probes = view.probes
+        index_local = self._index_local
+        fabric = self.cluster.fabric
+        home = self.home_node
+        key_column = view.key_column
+        columns_get = view._columns.get
+        probe_ns = cost.index_probe_ns
+        scan_ns = cost.scan_entry_ns
+        eid_bits = (eid << _EID_SHIFT) | d
+        hits = 0
+        # Pending integer charges, accumulated as plain counters and
+        # emitted before every fractional remote read (and once at the
+        # end).  Integer partial sums are exact in any order, so the
+        # meter — total and per-category breakdown — stays bit-identical
+        # to the row path's per-probe/per-span charges.
+        probe_acc = 0
+        scan_acc = 0
+
+        def _emit_pending():
+            nonlocal probe_acc, scan_acc
+            if probe_acc:
+                meter.charge(probe_ns, times=probe_acc, category="store")
+                probe_acc = 0
+            if scan_acc:
+                meter.charge(scan_ns, times=scan_acc, category="store")
+                scan_acc = 0
+
+        # C-level first-occurrence dedup: the loop below runs once per
+        # distinct start instead of once per row.  The view's cache-hit
+        # path (a plain dict probe on the inlined packed key) is hoisted
+        # out of ``key_column``; hit counting is batched below.
+        cols: Dict[int, object] = {}
+        for start in dict.fromkeys(starts):
+            if not index_local:
+                _emit_pending()
+                fabric.remote_read(meter, _PROBE_BYTES, category="network")
+            probe_acc += probes
+            col = columns_get((start << _VID_SHIFT) | eid_bits, _MISSING)
+            if col is _MISSING:
+                col = key_column((start << _VID_SHIFT) | eid_bits)
+            else:
+                hits += 1
+            cols[start] = col
+            if col is None:
+                fetched[start] = []
+                continue
+            for owner, span in col.merged:
+                if owner != home:
+                    _emit_pending()
+                    fabric.remote_read(meter, 16 + 8 * span.length,
+                                       category="network")
+                scan_acc += span.length
+            fetched[start] = col.values
+        _emit_pending()
+        if hits:
+            view.hits += hits
+        self._last_fetch = (fetched, cols)
+        if wall is not None:
+            wall["index_read"] = wall.get("index_read", 0.0) \
+                + (time.perf_counter() - started)
+        return fetched
+
+    def neighbor_sets(self, starts: Iterable[int], eid: int,
+                      d: int) -> Optional[Dict[int, set]]:
+        """Memoized per-start membership sets for the starts' neighbour
+        lists, or None when there is no columnar view to remember them
+        (the caller then builds its own sets).  Charge-free: the row
+        path's membership filter is executor bookkeeping."""
+        view = self.columnar
+        if view is None or self._is_timing(eid):
+            return None
+        last = self._last_fetch
+        if last is not None and last[0] is starts:
+            sets: Dict[int, set] = {}
+            for start, col in last[1].items():
+                sets[start] = _EMPTY_SET if col is None else col.value_set()
+            return sets
+        return view.column_sets(starts, eid, d)
+
+    def distinct_neighbors(self, starts: Iterable[int], eid: int,
+                           d: int) -> Optional[bool]:
+        """Memoized duplicate-free verdict for the starts' neighbour
+        lists, or None when there is no columnar view to remember it
+        (the caller then re-derives the verdict itself).  Charge-free:
+        the row path's distinct check is executor bookkeeping."""
+        view = self.columnar
+        if view is None or self._is_timing(eid):
+            return None
+        last = self._last_fetch
+        if last is not None and last[0] is starts:
+            for col in last[1].values():
+                if col is not None and not col.is_distinct():
+                    return False
+            return True
+        return view.columns_distinct(starts, eid, d)
 
     def index_vertices(self, eid: int, d: int,
                        meter: LatencyMeter) -> List[int]:
@@ -121,6 +281,10 @@ class WindowAccess:
                         out.append(vertex)
             return out
         self._charge_index_locality(meter)
+        if self.columnar is not None:
+            out, scanned = self.columnar.vertices(eid, d)
+            self._charge_vertices(meter, scanned)
+            return list(out)  # callers own their copy, as on the row path
         return self.registry.index(self.schema.name).vertices(
             eid, d, self.first_batch, self.last_batch, meter=meter)
 
@@ -134,10 +298,23 @@ class WindowAccess:
         if self._is_timing(eid):
             return self.transients[node_id].vertices(
                 eid, d, self.first_batch, self.last_batch, meter=meter)
-        vertices = self.registry.index(self.schema.name).vertices(
-            eid, d, self.first_batch, self.last_batch, meter=meter)
-        return [vid for vid in vertices
-                if self.cluster.owner_of(vid) == node_id]
+        if self.columnar is not None:
+            vertices, scanned = self.columnar.vertices(eid, d)
+            self._charge_vertices(meter, scanned)
+        else:
+            vertices = self.registry.index(self.schema.name).vertices(
+                eid, d, self.first_batch, self.last_batch, meter=meter)
+        owner_of = self.cluster.owner_of
+        return [vid for vid in vertices if owner_of(vid) == node_id]
+
+    def _charge_vertices(self, meter: LatencyMeter, scanned: int) -> None:
+        """Replay ``StreamIndex.vertices``'s charges for a cached column."""
+        probes = self.columnar.probes
+        if probes:
+            meter.charge(self._cost.index_probe_ns, times=probes,
+                         category="store")
+            meter.charge(self._cost.scan_entry_ns, times=scanned,
+                         category="store")
 
     # -- paths -----------------------------------------------------------------
     def _timeless_neighbors(self, vid: int, eid: int, d: int,
@@ -157,6 +334,38 @@ class WindowAccess:
         for owner, span in _merge_spans(spans):
             found.extend(self.store.span_from(self.home_node, span, owner,
                                               meter))
+        return found
+
+    def _timeless_neighbors_columnar(self, vid: int, eid: int, d: int,
+                                     meter: LatencyMeter) -> List[int]:
+        """Columnar fast path: serve the cached window column, replaying
+        the row path's charge sequence against its merged-span geometry
+        (locality read, probes, then one remote read + scan per span)."""
+        wall = self.wall_stats
+        started = time.perf_counter() if wall is not None else 0.0
+        self._charge_index_locality(meter)
+        view = self.columnar
+        cost = self._cost
+        probes = view.probes
+        if probes:
+            meter.charge(cost.index_probe_ns, times=probes,
+                         category="store")
+        col = view.key_column(make_key(vid, eid, d))
+        if col is None:
+            found: List[int] = []
+        else:
+            home = self.home_node
+            fabric = self.cluster.fabric
+            for owner, span in col.merged:
+                if owner != home:
+                    fabric.remote_read(meter, 16 + 8 * span.length,
+                                       category="network")
+                meter.charge(cost.scan_entry_ns, times=span.length,
+                             category="store")
+            found = col.values
+        if wall is not None:
+            wall["index_read"] = wall.get("index_read", 0.0) \
+                + (time.perf_counter() - started)
         return found
 
     def _timing_neighbors(self, vid: int, eid: int, d: int,

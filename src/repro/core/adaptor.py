@@ -11,7 +11,7 @@ schema so the Dispatcher/Injector can route it to the right store.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.rdf.string_server import StringServer
 from repro.rdf.terms import EncodedTuple
@@ -57,6 +57,8 @@ class Adaptor:
         self.strings = strings
         self.cost = cost if cost is not None else CostModel()
         self.relevant_predicates = relevant_predicates
+        #: predicate -> is-timing memo (schemas never reclassify).
+        self._timing_memo: Dict[str, bool] = {}
 
     def adapt(self, batch: StreamBatch,
               meter: Optional[LatencyMeter] = None) -> AdaptedBatch:
@@ -64,17 +66,32 @@ class Adaptor:
         adapted = AdaptedBatch(
             stream=batch.stream, batch_no=batch.batch_no,
             start_ms=batch.start_ms, end_ms=batch.end_ms)
-        for tup in batch.tuples:
-            if meter is not None:
-                meter.charge(self.cost.scan_entry_ns, category="adapt")
+        tuples = batch.tuples
+        if meter is not None and tuples:
+            # One aggregated scan charge: the per-tuple charges are a
+            # run of identical integers with nothing in between, so one
+            # ``times=n`` charge is bit-identical.
+            meter.charge(self.cost.scan_entry_ns, times=len(tuples),
+                         category="adapt")
+        relevant = self.relevant_predicates
+        encode = self.strings.encode_tuple
+        timing_memo = self._timing_memo
+        memo_get = timing_memo.get
+        append_timing = adapted.timing.append
+        append_timeless = adapted.timeless.append
+        discarded = 0
+        for tup in tuples:
             predicate = tup.triple.predicate
-            if (self.relevant_predicates is not None
-                    and predicate not in self.relevant_predicates):
-                adapted.discarded += 1
+            if relevant is not None and predicate not in relevant:
+                discarded += 1
                 continue
-            encoded = self.strings.encode_tuple(tup)
-            if self.schema.is_timing(predicate):
-                adapted.timing.append(encoded)
+            verdict = memo_get(predicate)
+            if verdict is None:
+                verdict = timing_memo[predicate] = \
+                    self.schema.is_timing(predicate)
+            if verdict:
+                append_timing(encode(tup))
             else:
-                adapted.timeless.append(encoded)
+                append_timeless(encode(tup))
+        adapted.discarded = discarded
         return adapted

@@ -59,16 +59,25 @@ class Dispatcher:
                                     node.node_id)
             for node in self.cluster.nodes
         }
-        for encoded in adapted.timeless:
-            batches[self.cluster.owner_of(encoded.triple.s)] \
-                .out_timeless.append(encoded)
-            batches[self.cluster.owner_of(encoded.triple.o)] \
-                .in_timeless.append(encoded)
-        for encoded in adapted.timing:
-            batches[self.cluster.owner_of(encoded.triple.s)] \
-                .out_timing.append(encoded)
-            batches[self.cluster.owner_of(encoded.triple.o)] \
-                .in_timing.append(encoded)
+        if len(batches) == 1:
+            # Single-node fast path: every owner is the one node, so the
+            # per-tuple routing collapses to whole-list copies (same
+            # elements, same order as the append loop below).
+            node_batch = next(iter(batches.values()))
+            node_batch.out_timeless = list(adapted.timeless)
+            node_batch.in_timeless = list(adapted.timeless)
+            node_batch.out_timing = list(adapted.timing)
+            node_batch.in_timing = list(adapted.timing)
+        else:
+            owner_of = self.cluster.owner_of
+            for encoded in adapted.timeless:
+                triple = encoded.triple
+                batches[owner_of(triple.s)].out_timeless.append(encoded)
+                batches[owner_of(triple.o)].in_timeless.append(encoded)
+            for encoded in adapted.timing:
+                triple = encoded.triple
+                batches[owner_of(triple.s)].out_timing.append(encoded)
+                batches[owner_of(triple.o)].in_timing.append(encoded)
         if meter is not None:
             # Transfers to the injectors proceed in parallel; the batch
             # waits for the largest one.

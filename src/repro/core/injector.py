@@ -24,9 +24,15 @@ from typing import Dict, List, Optional
 from repro.core.dispatcher import NodeBatch
 from repro.core.stream_index import IndexSlice
 from repro.core.transient import TransientStore
+from repro.rdf.ids import DIR_IN, DIR_OUT, _EID_SHIFT, _VID_SHIFT
 from repro.rdf.terms import EncodedTuple
 from repro.sim.cost import ChargeSet, LatencyMeter
 from repro.store.distributed import DistributedStore
+from repro.store.kvstore import _PRED_BITS, _PRED_MASK, _TopKSketch
+
+# The inlined fast path in ``_inject_half`` assumes a key's vid is its
+# sketch id (note_insert bumps ``key >> _PRED_BITS``).
+assert _PRED_BITS == _VID_SHIFT
 
 
 class Injector:
@@ -90,22 +96,19 @@ class Injector:
         branches: List[LatencyMeter] = []
         out_parts = self._partition(node_batch.out_timeless, True)
         in_parts = self._partition(node_batch.in_timeless, False)
+        # The dispatcher routes each half to its key's owner, so every
+        # key this injector touches lives on the local shard.
+        shard = self.store.shards[self.node_id]
         for thread in range(len(out_parts)):
             # Store primitives charge into a ChargeSet instead of a meter:
             # one aggregated flush per thread replaces one meter call per
             # inserted entry, with a bit-identical branch total.
             charges = ChargeSet() if meter is not None else None
-            for encoded in out_parts[thread]:
-                span = self.store.insert_out_edge(encoded.triple, sn=sn,
-                                                  meter=charges)
-                if index_slice is not None:
-                    index_slice.add_span(self.node_id, span)
-                self.tuples_injected += 1
-            for encoded in in_parts[thread]:
-                span = self.store.insert_in_edge(encoded.triple, sn=sn,
-                                                 meter=charges)
-                if index_slice is not None:
-                    index_slice.add_span(self.node_id, span)
+            self._inject_half(shard, out_parts[thread], True, sn,
+                              index_slice, charges)
+            self.tuples_injected += len(out_parts[thread])
+            self._inject_half(shard, in_parts[thread], False, sn,
+                              index_slice, charges)
             if meter is not None:
                 branch = meter.spawn()
                 charges.flush(branch)
@@ -114,11 +117,7 @@ class Injector:
             meter.join_parallel(branches)
 
         if node_batch.out_timing or node_batch.in_timing:
-            transient = self.transients[node_batch.stream]
-            transient.append_slice(node_batch.batch_no,
-                                   node_batch.out_timing,
-                                   node_batch.in_timing, meter=meter)
-            self.tuples_injected += len(node_batch.out_timing)
+            self._append_timing(node_batch, meter)
         elif node_batch.stream in self.transients:
             # Keep slice numbering aligned even for batches without local
             # timing data: an empty slice is appended so windowed reads and
@@ -131,3 +130,71 @@ class Injector:
             if worked_ns > 0:
                 meter.charge((self.slowdown - 1.0) * worked_ns,
                              category="straggle")
+
+    def _inject_half(self, shard, part: List[EncodedTuple],
+                     by_subject: bool, sn: int,
+                     index_slice: Optional[IndexSlice],
+                     charges: Optional[ChargeSet]) -> None:
+        """Insert one half (out- or in-edges) of one thread's partition.
+
+        Two passes over the part, together equivalent to per-tuple
+        ``insert_out_edge``/``insert_in_edge`` + ``add_span`` calls:
+
+        * Pass A walks tuples in arrival order, grouping each key's
+          values (a key's value list receives only its own tuples, so
+          grouping never reorders any list) while bumping the per-entry
+          degree sketches, whose eviction ties are order-sensitive.
+        * Pass B bulk-appends the groups (``insert_groups``: value
+          append + index registration per key) and registers the
+          pre-coalesced spans with the stream-index slice, in
+          first-occurrence key order — exactly the order keys first
+          appeared in the per-entry path.
+
+        All the charges involved are integer-valued and aggregate through
+        the caller's :class:`ChargeSet`, so the flushed branch total is
+        bit-identical to the per-tuple path's.
+        """
+        if not part:
+            return
+        d = DIR_OUT if by_subject else DIR_IN
+        groups: Dict[int, List[int]] = {}
+        groups_get = groups.get
+        # Pass A inlines ``make_key`` (ids come from the string server,
+        # already range-checked at allocation) and ``note_insert`` (see
+        # kvstore) — both are per-tuple calls on the hottest loop of the
+        # pipeline.
+        pred_entries = shard._pred_entries
+        entries_get = pred_entries.get
+        sketches = shard._degree_sketches
+        sketches_get = sketches.get
+        for encoded in part:
+            triple = encoded.triple
+            if by_subject:
+                vid = triple.s
+                value = triple.o
+            else:
+                vid = triple.o
+                value = triple.s
+            key = (vid << _VID_SHIFT) | (triple.p << _EID_SHIFT) | d
+            vals = groups_get(key)
+            if vals is None:
+                groups[key] = [value]
+            else:
+                vals.append(value)
+            bucket = key & _PRED_MASK
+            pred_entries[bucket] = entries_get(bucket, 0) + 1
+            sketch = sketches_get(bucket)
+            if sketch is None:
+                sketch = sketches[bucket] = _TopKSketch()
+            sketch.bump(vid)
+        spans = shard.insert_groups(groups, sn=sn, meter=charges)
+        if index_slice is not None:
+            index_slice.add_batch_spans(self.node_id, spans, d)
+
+    def _append_timing(self, node_batch: NodeBatch,
+                       meter: Optional[LatencyMeter]) -> None:
+        transient = self.transients[node_batch.stream]
+        transient.append_slice(node_batch.batch_no,
+                               node_batch.out_timing,
+                               node_batch.in_timing, meter=meter)
+        self.tuples_injected += len(node_batch.out_timing)

@@ -144,6 +144,17 @@ class CacheStats:
     #: stay on the batch path now that filters compile to column ops.
     batch_executions: int = 0
     row_executions: int = 0
+    #: Columnar window-view counters (continuous fast path): column
+    #: probes served from a registered query's window view vs rebuilt
+    #: from the stream index (``window_*``), columns dropped when a view
+    #: advances or resets (``window_evictions``), and window advances
+    #: that reused the previous close's columns incrementally vs
+    #: rematerialized from scratch (``window_delta_*``).
+    window_hits: int = 0
+    window_misses: int = 0
+    window_evictions: int = 0
+    window_delta_hits: int = 0
+    window_delta_misses: int = 0
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -161,6 +172,14 @@ class CacheStats:
     @property
     def adjacency_hit_rate(self) -> float:
         return self._rate(self.adjacency_hits, self.adjacency_misses)
+
+    @property
+    def window_hit_rate(self) -> float:
+        return self._rate(self.window_hits, self.window_misses)
+
+    @property
+    def window_delta_rate(self) -> float:
+        return self._rate(self.window_delta_hits, self.window_delta_misses)
 
 
 @dataclass
@@ -211,6 +230,12 @@ class EngineStats:
             lines.append(
                 f"executor: {caches.batch_executions:,} batch / "
                 f"{caches.row_executions:,} row executions")
+            lines.append(
+                f"window views: columns {caches.window_hit_rate:.1%} hit "
+                f"rate ({caches.window_evictions:,} evictions), deltas "
+                f"{caches.window_delta_hits}/"
+                f"{caches.window_delta_hits + caches.window_delta_misses} "
+                f"incremental")
         for stream in self.streams:
             lines.append(
                 f"  stream {stream.name}: batch #{stream.batches_delivered}"
@@ -247,6 +272,15 @@ def collect_stats(engine: WukongSEngine) -> EngineStats:
             transient_bytes=sum(t.memory_bytes() for t in transients),
             raw_bytes=engine.raw_stream_bytes(name),
         ))
+    window_hits = window_misses = window_evictions = 0
+    delta_hits = delta_misses = 0
+    for handle in engine.continuous.queries.values():
+        for view in handle.window_views.values():
+            window_hits += view.hits
+            window_misses += view.misses
+            window_evictions += view.evictions
+            delta_hits += view.delta_hits
+            delta_misses += view.delta_misses
     caches = CacheStats(
         plan_hits=engine.oneshot_engine.plan_cache_hits,
         plan_misses=engine.oneshot_engine.plan_cache_misses,
@@ -263,6 +297,11 @@ def collect_stats(engine: WukongSEngine) -> EngineStats:
                           + engine.oneshot_engine.explorer.batch_executions),
         row_executions=(engine.continuous.explorer.row_executions
                         + engine.oneshot_engine.explorer.row_executions),
+        window_hits=window_hits,
+        window_misses=window_misses,
+        window_evictions=window_evictions,
+        window_delta_hits=delta_hits,
+        window_delta_misses=delta_misses,
     )
     queries = []
     for handle in engine.continuous.queries.values():

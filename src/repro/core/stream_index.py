@@ -24,11 +24,13 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import deque
+from itertools import chain, islice
 from operator import itemgetter
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StoreError, StreamError
-from repro.rdf.ids import Key, split_key
+from repro.rdf.ids import (MAX_EID, _EID_SHIFT, _VID_SHIFT, Key, make_key,
+                           split_key)
 from repro.sim.cost import CostModel, LatencyMeter, MemoryModel
 from repro.store.kvstore import ValueSpan
 
@@ -59,6 +61,53 @@ class IndexSlice:
                 return
         spans.append((owner, span))
         self._note_vertex(span.key)
+
+    def add_batch_span(self, owner: int, span: ValueSpan, eid: int,
+                       d: int, vid: int) -> None:
+        """Record one key's whole batch contribution as a single span.
+
+        The bulk injection path appends each key's values contiguously,
+        so the per-entry coalescing of :meth:`add_span` has already
+        happened; the caller supplies the split key fields it knows.
+        """
+        spans = self.entries.setdefault(span.key, [])
+        if spans:
+            last_owner, last = spans[-1]
+            if last_owner == owner and last.offset + last.length == span.offset:
+                spans[-1] = (owner, ValueSpan(span.key, last.offset,
+                                              last.length + span.length))
+                return
+        spans.append((owner, span))
+        self.vertices.setdefault((eid, d), set()).add(vid)
+
+    def add_batch_spans(self, owner: int, spans: List[ValueSpan],
+                        d: int) -> None:
+        """Bulk :meth:`add_batch_span` over one injector half's spans
+        (which all share direction ``d``), deriving the split-key fields
+        from each span's packed key."""
+        entries = self.entries
+        vertices = self.vertices
+        group_sets: Dict[int, Set[int]] = {}
+        for span in spans:
+            key = span.key
+            known = entries.get(key)
+            if known is None:
+                entries[key] = [(owner, span)]
+            else:
+                last_owner, last = known[-1]
+                if (last_owner == owner
+                        and last.offset + last.length == span.offset):
+                    known[-1] = (owner,
+                                 ValueSpan(key, last.offset,
+                                           last.length + span.length))
+                    continue
+                known.append((owner, span))
+            eid = (key >> _EID_SHIFT) & MAX_EID
+            members = group_sets.get(eid)
+            if members is None:
+                members = group_sets[eid] = \
+                    vertices.setdefault((eid, d), set())
+            members.add(key >> _VID_SHIFT)
 
     def _note_vertex(self, key: Key) -> None:
         vid, eid, d = split_key(key)
@@ -179,6 +228,19 @@ class StreamIndex:
                              category="store")
         return out
 
+    def slices_in(self, first_batch: int,
+                  last_batch: int) -> List[IndexSlice]:
+        """The live slices with ``batch_no`` in [first, last], oldest first.
+
+        Wall-clock-only helper for the columnar window view; simulated
+        probe charges stay with the lookup that consumes the slices.
+        """
+        lo = bisect_left(self._batch_nos, first_batch)
+        hi = bisect_right(self._batch_nos, last_batch)
+        if lo == hi:
+            return []
+        return list(islice(self._slices, lo, hi))
+
     # -- GC ----------------------------------------------------------------
     def collect(self, before_batch_no: int,
                 meter: Optional[LatencyMeter] = None) -> int:
@@ -219,6 +281,369 @@ class StreamIndex:
     def memory_bytes(self) -> int:
         """Bytes of one replica of this index."""
         return sum(piece.memory_bytes(self.memory) for piece in self._slices)
+
+
+#: Sentinel distinguishing "never looked up" from a cached absent key.
+_MISSING = object()
+
+#: Shared read-only set served for cached-absent keys (never mutated).
+_EMPTY_SET: set = set()
+
+
+class _KeyColumn:
+    """Flat window column of one key: values plus replayable geometry.
+
+    ``values`` is the concatenation of the key's value-list entries across
+    the window's batches (in batch order — exactly what the row path's
+    span walk returns).  ``merged`` is the coalesced span list the row path
+    would derive via ``_merge_spans``; lookups replay its simulated
+    charges (one remote read per non-home span, one scan per entry)
+    without re-reading the store.  ``batch_counts`` records how many
+    values each contributing batch added, which is what lets the expired
+    prefix be dropped without a rebuild.
+    """
+
+    __slots__ = ("values", "merged", "batch_counts", "_set", "_distinct")
+
+    def __init__(self, values: List[int], merged: List[OwnedSpan],
+                 batch_counts: List[Tuple[int, int]]):
+        self.values = values
+        self.merged = merged
+        self.batch_counts = batch_counts
+        #: Lazy membership set / duplicate-free verdict; both reset
+        #: whenever ``values`` changes.
+        self._set: Optional[set] = None
+        self._distinct: Optional[bool] = None
+
+    def value_set(self) -> set:
+        """Memoized ``set(values)`` (charge-free executor bookkeeping,
+        built once per column version instead of once per expansion)."""
+        cached = self._set
+        if cached is None:
+            cached = self._set = set(self.values)
+        return cached
+
+    def is_distinct(self) -> bool:
+        """True iff ``values`` has no duplicates (memoized bookkeeping —
+        the executor's charge-free distinct check, computed once per
+        column version instead of once per expansion)."""
+        verdict = self._distinct
+        if verdict is None:
+            verdict = self._distinct = \
+                len(self.value_set()) == len(self.values)
+        return verdict
+
+
+class ColumnarSlice:
+    """Columnar view of one stream's window ``[first_batch, last_batch]``.
+
+    Instead of walking postings and dereferencing spans per row, the view
+    materializes each looked-up key as one contiguous value column (plus
+    the merged-span geometry needed to replay the row path's simulated
+    charges bit-for-bit) and each ``(eid, d)`` vertex group as one deduped
+    start column.  Columns build lazily on first lookup and live across
+    window closes: because ``[RANGE r STEP s]`` windows overlap heavily,
+    :meth:`advance` reuses the previous close's columns, appending only
+    the newly closed batches and dropping the expired prefix — the
+    incremental window delta.  All of it is wall-clock bookkeeping; no
+    simulated time is charged here (readers replay the exact row-path
+    charges against the cached geometry).
+
+    Columns are replaced, never mutated, on advance: callers may hold a
+    returned list across a close without seeing it change underneath.
+
+    Safe to cache across failures: value lists only ever append, recovery
+    rebuilds a lost shard bit-identically from the durable log, and the
+    engine never polls while degraded — so a cached column can never go
+    stale relative to the store it was read from.
+    """
+
+    __slots__ = ("index", "store", "first_batch", "last_batch", "probes",
+                 "_segments", "_columns", "_vertex_cols", "_member_lists",
+                 "hits", "misses", "evictions", "delta_hits",
+                 "delta_misses")
+
+    def __init__(self, index: StreamIndex, store):
+        self.index = index
+        self.store = store
+        self.first_batch = 0
+        self.last_batch = -1
+        #: Simulated probe count of the current range (recomputed by
+        #: :meth:`advance`; readers charge ``index_probe_ns`` per probe).
+        self.probes = 0
+        self._segments: List[IndexSlice] = []
+        #: key -> _KeyColumn, or None for a cached absent key.
+        self._columns: Dict[Key, Optional[_KeyColumn]] = {}
+        #: (eid, d) -> (deduped start column, scanned member count).
+        self._vertex_cols: Dict[Tuple[int, int],
+                                Tuple[List[int], int]] = {}
+        #: (batch_no, eid, d) -> list(members): per-slice set-to-list
+        #: conversions cached (slices are immutable once appended).
+        self._member_lists: Dict[Tuple[int, int, int], List[int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.delta_hits = 0
+        self.delta_misses = 0
+
+    # -- window sliding ----------------------------------------------------
+    def advance(self, first_batch: int, last_batch: int) -> "ColumnarSlice":
+        """Slide the view to ``[first_batch, last_batch]``.
+
+        The common case (window sliding forward by ``s`` batches) keeps
+        every cached column, dropping the expired prefix and appending the
+        newly closed batches.  A range that shares no slice with the
+        previous one resets the view and rebuilds lazily.
+        """
+        if first_batch == self.first_batch \
+                and last_batch == self.last_batch:
+            return self  # access-cache reuse: nothing moved
+        fresh = self.index.slices_in(first_batch, last_batch)
+        old = self._segments
+        kept = 0
+        if old and fresh:
+            # Slices append strictly at the tail and expire strictly from
+            # the head, so the overlap (if any) is old's suffix == fresh's
+            # prefix, anchored at fresh's first slice.
+            first_new = fresh[0]
+            for i, piece in enumerate(old):
+                if piece is first_new:
+                    kept = len(old) - i
+                    break
+        if old and not kept:
+            self._reset()
+            self.delta_misses += 1
+        elif old:
+            self.delta_hits += 1
+            for piece in old[:len(old) - kept]:
+                self._drop_slice(piece)
+        else:
+            self.delta_misses += 1  # first materialization
+        for piece in fresh[kept:]:
+            self._extend_slice(piece)
+        self._segments = fresh
+        self.first_batch = first_batch
+        self.last_batch = last_batch
+        self.probes = self.index._probes_in(first_batch, last_batch)
+        return self
+
+    def _reset(self) -> None:
+        self.evictions += len(self._columns) + len(self._vertex_cols)
+        self._columns.clear()
+        self._vertex_cols.clear()
+        self._member_lists.clear()
+        self._segments = []
+
+    def _drop_slice(self, piece: IndexSlice) -> None:
+        """Drop one expired batch (always the view's oldest) from every
+        cached column it contributed to.
+
+        Iterates the smaller side: slices usually hold far more keys than
+        the view has cached columns (only probed keys are cached), so the
+        walk goes over the cached columns with membership probes into the
+        slice instead of the other way around.
+        """
+        columns = self._columns
+        entries = piece.entries
+        if len(entries) <= len(columns):
+            keys = [key for key in entries if columns.get(key) is not None]
+        else:
+            keys = [key for key, col in columns.items() if col is not None
+                    and key in entries]
+        for key in keys:
+            col = columns[key]
+            counts = col.batch_counts
+            if not counts or counts[0][0] != piece.batch_no:
+                # Defensive: unexpected shape — rebuild lazily.
+                del columns[key]
+                self.evictions += 1
+                continue
+            drop = counts[0][1]
+            del counts[0]
+            if not counts:
+                del columns[key]
+                self.evictions += 1
+                continue
+            col.values = col.values[drop:]
+            col._set = None
+            col._distinct = None
+            merged = col.merged
+            while drop:
+                owner, span = merged[0]
+                if span.length <= drop:
+                    drop -= span.length
+                    del merged[0]
+                else:
+                    merged[0] = (owner, ValueSpan(span.key,
+                                                  span.offset + drop,
+                                                  span.length - drop))
+                    drop = 0
+        member_lists = self._member_lists
+        vertex_cols = self._vertex_cols
+        for group in piece.vertices:
+            member_lists.pop((piece.batch_no,) + group, None)
+            if vertex_cols.pop(group, None) is not None:
+                self.evictions += 1
+
+    def _extend_slice(self, piece: IndexSlice) -> None:
+        """Append one newly closed batch to every cached column it touches
+        (uncached keys build lazily on their next lookup).
+
+        Like :meth:`_drop_slice`, walks the smaller of the slice's key set
+        and the view's cached columns.
+        """
+        columns = self._columns
+        entries = piece.entries
+        shards = self.store.shards
+        if len(entries) <= len(columns):
+            items = [(key, columns[key], spans)
+                     for key, spans in entries.items() if key in columns]
+        else:
+            items = [(key, col, entries[key])
+                     for key, col in columns.items() if key in entries]
+        for key, col, spans in items:
+            if col is None:
+                del columns[key]  # cached-absent key just gained spans
+                continue
+            added: List[int] = []
+            count = 0
+            merged = col.merged
+            for owner, span in spans:
+                added.extend(shards[owner].lookup_span(span))
+                count += span.length
+                if merged:
+                    last_owner, last = merged[-1]
+                    if (last_owner == owner
+                            and last.offset + last.length == span.offset):
+                        merged[-1] = (owner,
+                                      ValueSpan(span.key, last.offset,
+                                                last.length + span.length))
+                        continue
+                merged.append((owner, span))
+            col.values = col.values + added  # copy-on-extend (shared refs)
+            col._set = None
+            col._distinct = None
+            col.batch_counts.append((piece.batch_no, count))
+        vertex_cols = self._vertex_cols
+        for group in piece.vertices:
+            # A new batch can only append unseen vertices, but the cached
+            # column is shared with callers — rebuild lazily instead of
+            # extending in place.
+            if vertex_cols.pop(group, None) is not None:
+                self.evictions += 1
+
+    # -- columnar reads (charge-free; callers replay charges) --------------
+    def key_column(self, key: Key) -> Optional[_KeyColumn]:
+        """The window column of ``key``, or None if the key has no spans
+        in the current range (the absence is cached too)."""
+        col = self._columns.get(key, _MISSING)
+        if col is not _MISSING:
+            self.hits += 1
+            return col
+        self.misses += 1
+        postings = self.index._key_postings.get(key)
+        lo = hi = 0
+        if postings:
+            lo = bisect_left(postings, self.first_batch,
+                             key=_posting_batch)
+            hi = bisect_right(postings, self.last_batch, lo=lo,
+                              key=_posting_batch)
+        if lo == hi:
+            self._columns[key] = None
+            return None
+        values: List[int] = []
+        merged: List[OwnedSpan] = []
+        batch_counts: List[Tuple[int, int]] = []
+        shards = self.store.shards
+        for batch_no, spans in postings[lo:hi]:
+            count = 0
+            for owner, span in spans:
+                values.extend(shards[owner].lookup_span(span))
+                count += span.length
+                if merged:
+                    last_owner, last = merged[-1]
+                    if (last_owner == owner
+                            and last.offset + last.length == span.offset):
+                        merged[-1] = (owner,
+                                      ValueSpan(span.key, last.offset,
+                                                last.length + span.length))
+                        continue
+                merged.append((owner, span))
+            batch_counts.append((batch_no, count))
+        col = _KeyColumn(values, merged, batch_counts)
+        self._columns[key] = col
+        return col
+
+    def vertices(self, eid: int, d: int) -> Tuple[List[int], int]:
+        """Deduped start column of ``(eid, d)`` plus the scanned member
+        count (the row path's simulated scan charge)."""
+        group = (eid, d)
+        cached = self._vertex_cols.get(group)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        postings = self.index._vertex_postings.get(group)
+        lists: List[List[int]] = []
+        scanned = 0
+        if postings:
+            lo = bisect_left(postings, self.first_batch,
+                             key=_posting_batch)
+            hi = bisect_right(postings, self.last_batch, lo=lo,
+                              key=_posting_batch)
+            member_lists = self._member_lists
+            for batch_no, members in postings[lo:hi]:
+                cache_key = (batch_no, eid, d)
+                lst = member_lists.get(cache_key)
+                if lst is None:
+                    lst = member_lists[cache_key] = list(members)
+                scanned += len(lst)
+                lists.append(lst)
+        # dict.fromkeys deduplicates in first-occurrence order over the
+        # same per-slice iteration the row path uses — identical output.
+        out = list(dict.fromkeys(chain.from_iterable(lists)))
+        cached = (out, scanned)
+        self._vertex_cols[group] = cached
+        return cached
+
+    def column_sets(self, starts: Iterable[Key], eid: int,
+                    d: int) -> Dict[int, set]:
+        """Per-start membership sets over the cached window columns.
+
+        Charge-free bookkeeping for the executor's membership filter:
+        each column's set is memoized on the column, so heavily
+        overlapping windows rebuild nothing.  Starts whose keys are
+        cached absent share one (read-only) empty set.
+        """
+        columns_get = self._columns.get
+        eid_bits = (eid << _EID_SHIFT) | d
+        sets: Dict[int, set] = {}
+        for start in starts:
+            col = columns_get((start << _VID_SHIFT) | eid_bits)
+            sets[start] = _EMPTY_SET if col is None else col.value_set()
+        return sets
+
+    def columns_distinct(self, starts: Iterable[Key], eid: int,
+                         d: int) -> bool:
+        """True iff every start's cached window column is duplicate-free.
+
+        Charge-free bookkeeping for the executor's distinct check: the
+        per-column verdict is memoized on the column, so heavily
+        overlapping windows answer from cache.  Starts whose keys were
+        cached absent (empty lists) are trivially distinct.
+        """
+        columns_get = self._columns.get
+        eid_bits = (eid << _EID_SHIFT) | d
+        for start in starts:
+            col = columns_get((start << _VID_SHIFT) | eid_bits)
+            if col is not None and not col.is_distinct():
+                return False
+        return True
+
+    @property
+    def entries(self) -> int:
+        """Cached columns (key + vertex-group), for the stats dashboard."""
+        return len(self._columns) + len(self._vertex_cols)
 
 
 class StreamIndexRegistry:

@@ -176,6 +176,22 @@ def collect_metrics(engine, registry: Optional[MetricsRegistry] = None,
     registry.counter("adjacency_cache_misses").value = misses
     registry.counter("adjacency_cache_evictions").value = evictions
     registry.gauge("adjacency_cache_entries_total").set(entries)
+    # Columnar window views (continuous fast path), per stream and total.
+    w_hits = w_misses = w_evictions = d_hits = d_misses = 0
+    for handle in engine.continuous.queries.values():
+        for stream, view in handle.window_views.items():
+            registry.gauge("window_view_columns", query=handle.name,
+                           stream=stream).set(len(view._columns))
+            w_hits += view.hits
+            w_misses += view.misses
+            w_evictions += view.evictions
+            d_hits += view.delta_hits
+            d_misses += view.delta_misses
+    registry.counter("window_view_hits").value = w_hits
+    registry.counter("window_view_misses").value = w_misses
+    registry.counter("window_view_evictions").value = w_evictions
+    registry.counter("window_delta_hits").value = d_hits
+    registry.counter("window_delta_misses").value = d_misses
     # Store / stream index / transient footprints.
     registry.gauge("store_entries").set(engine.store.num_entries)
     registry.gauge("store_bytes").set(engine.store.memory_bytes())

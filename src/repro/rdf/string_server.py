@@ -89,12 +89,22 @@ class StringServer:
 
     # -- bulk encoding ----------------------------------------------------
     def encode_triple(self, triple: Triple) -> EncodedTriple:
-        """Encode one triple, allocating IDs as needed."""
-        return EncodedTriple(
-            self.entity_id(triple.subject),
-            self.predicate_id(triple.predicate),
-            self.entity_id(triple.object),
-        )
+        """Encode one triple, allocating IDs as needed.
+
+        The known-term path (the common case on a warm server) is inlined
+        dict probes; only first-sighted terms take the allocating call.
+        """
+        entity_ids = self._entity_ids
+        s = entity_ids.get(triple.subject)
+        if s is None:
+            s = self.entity_id(triple.subject)
+        p = self._predicate_ids.get(triple.predicate)
+        if p is None:
+            p = self.predicate_id(triple.predicate)
+        o = entity_ids.get(triple.object)
+        if o is None:
+            o = self.entity_id(triple.object)
+        return EncodedTriple(s, p, o)
 
     def encode_tuple(self, tup: TimedTuple) -> EncodedTuple:
         """Encode one timed tuple, allocating IDs as needed."""

@@ -140,8 +140,9 @@ class DistributedStore:
         shard's adjacency-segment cache — a wall-clock optimization only:
         a hit charges exactly the remote reads, hash probe and per-entry
         scan of an uncached lookup, in the same order, so simulated time
-        is bit-identical.  Inserts invalidate the written key's segment
-        and compaction drops the cache (see ``ShardStore``).
+        is bit-identical.  Inserts invalidate the written key's segment;
+        cached segments survive compaction and serve any snapshot bound
+        with the same visible prefix (see ``ShardStore``).
 
         ``Cluster.owner_of`` (modulo partitioning) and ``make_key`` are
         inlined here: this is the innermost store probe of every

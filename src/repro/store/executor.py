@@ -72,8 +72,8 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from itertools import chain, repeat
-from operator import itemgetter
+from itertools import chain, compress, count, repeat
+from operator import contains, itemgetter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
@@ -1035,8 +1035,10 @@ class GraphExplorer:
         if neighbors_many is not None:
             # Batch-shaped access: the store deduplicates the probes in
             # first-occurrence order itself (same charges, one call).
+            # Per-row lists are materialized lazily — the membership
+            # filter below only needs the per-distinct-start dict.
             fetched = neighbors_many(starts, eid, direction, meter)
-            neighbor_lists = list(map(fetched.__getitem__, starts))
+            neighbor_lists = None
         else:
             fetched: Dict[int, List[int]] = {}
             fetched_get = fetched.get
@@ -1051,20 +1053,26 @@ class GraphExplorer:
                 append_list(neighbors)
         other_col = batch.cols[other_slot] if other_slot is not None else None
         if other_const is not None or other_col is not None:
-            # Membership filter against per-start sets (built lazily, as
-            # the row path does — charge-free bookkeeping either way).
-            sets: Dict[int, set] = {}
-            sets_get = sets.get
-            sel = []
-            append_sel = sel.append
-            for i, start in enumerate(starts):
-                nset = sets_get(start)
-                if nset is None:
-                    nset = sets[start] = set(neighbor_lists[i])
-                wanted = other_const if other_const is not None \
-                    else other_col[i]
-                if wanted in nset:
-                    append_sel(i)
+            # Membership filter against per-distinct-start neighbour sets
+            # (charge-free bookkeeping, as on the row path); a columnar
+            # access serves memoized per-column sets, and the row
+            # selection itself runs entirely in C via compress/contains.
+            sets_hook = getattr(access, "neighbor_sets", None)
+            sets = sets_hook(fetched, eid, direction) \
+                if sets_hook is not None else None
+            if sets is None:
+                sets = {start: set(lst) for start, lst in fetched.items()}
+            if other_const is not None:
+                wanted = other_const
+                passing = {start for start in fetched
+                           if wanted in sets[start]}
+                sel = list(compress(count(),
+                                    map(passing.__contains__, starts)))
+            else:
+                sel = list(compress(count(),
+                                    map(contains,
+                                        map(sets.__getitem__, starts),
+                                        other_col)))
             if not sel:
                 return _Batch.empty(nslots)
             meter.charge(self.cost.binding_ns, times=len(sel),
@@ -1074,6 +1082,8 @@ class GraphExplorer:
         # fan-out is pure bookkeeping (charges are aggregated below), so
         # it runs entirely in C: counts/concat via map+chain, and bound
         # columns repeated with per-row itertools.repeat iterators.
+        if neighbor_lists is None:
+            neighbor_lists = list(map(fetched.__getitem__, starts))
         counts = list(map(len, neighbor_lists))
         total = sum(counts)
         if not total:
@@ -1091,9 +1101,18 @@ class GraphExplorer:
                     map(repeat, column, counts))))
         meter.charge(self.cost.binding_ns, times=total, category="explore")
         # Distinct rows extended with duplicate-free lists stay distinct;
-        # each distinct probe's list is verified once (charge-free).
-        distinct = batch.distinct and all(
-            len(set(lst)) == len(lst) for lst in fetched.values())
+        # each distinct probe's list is verified once (charge-free).  A
+        # columnar access memoizes the verdict per cached column, so the
+        # check survives across window closes.
+        distinct = False
+        if batch.distinct:
+            hook = getattr(access, "distinct_neighbors", None)
+            verdict = hook(fetched, eid, direction) \
+                if hook is not None else None
+            if verdict is None:
+                verdict = all(len(set(lst)) == len(lst)
+                              for lst in fetched.values())
+            distinct = verdict
         return _Batch(total, out_cols, distinct=distinct)
 
     def _expand_index_batch(self, batch: _Batch, cstep: _CompiledStep,
@@ -1140,18 +1159,56 @@ class GraphExplorer:
         distinct = batch.distinct and len(set(subjects)) == len(subjects)
         subj_col: List[int] = []
         obj_col: List[int] = []
+        # When every charge the access can emit is an integer (see
+        # ``charges_commute``), fetch-vs-binding charge order is
+        # irrelevant — integer sums are exact — so all neighbour lists
+        # can be fetched in one aggregated call up front.  Otherwise the
+        # interleaved per-subject order is preserved verbatim.
+        fetched = None
+        if getattr(access, "charges_commute", False):
+            neighbors_many = getattr(access, "neighbors_many", None)
+            if neighbors_many is not None:
+                fetched = neighbors_many(subjects, eid, DIR_OUT, meter)
         if obj_slot is None or obj_slot == subj_slot:
             # Object is a constant (or the subject variable itself):
             # each subject survives iff the object matches its list.
-            append_subj = subj_col.append
-            fetch = access.neighbors
-            for svid in subjects:
-                neighbors = fetch(svid, eid, DIR_OUT, meter)
-                wanted = svid if obj_slot == subj_slot else required
-                if wanted is not None and wanted in neighbors:
-                    append_subj(svid)
-                    charge(binding_ns, category="explore")
+            if fetched is not None:
+                if obj_slot == subj_slot:
+                    subj_col = [svid for svid in subjects
+                                if svid in fetched[svid]]
+                elif required is not None:
+                    subj_col = [svid for svid in subjects
+                                if required in fetched[svid]]
+                if subj_col:
+                    charge(binding_ns, times=len(subj_col),
+                           category="explore")
+            else:
+                append_subj = subj_col.append
+                fetch = access.neighbors
+                for svid in subjects:
+                    neighbors = fetch(svid, eid, DIR_OUT, meter)
+                    wanted = svid if obj_slot == subj_slot else required
+                    if wanted is not None and wanted in neighbors:
+                        append_subj(svid)
+                        charge(binding_ns, category="explore")
             obj_col = subj_col
+        elif fetched is not None:
+            lists = list(map(fetched.__getitem__, subjects))
+            counts = list(map(len, lists))
+            total = sum(counts)
+            if total:
+                subj_col = list(chain.from_iterable(
+                    map(repeat, subjects, counts)))
+                obj_col = list(chain.from_iterable(lists))
+                charge(binding_ns, times=total, category="explore")
+                if distinct:
+                    hook = getattr(access, "distinct_neighbors", None)
+                    verdict = hook(fetched, eid, DIR_OUT) \
+                        if hook is not None else None
+                    if verdict is None:
+                        verdict = all(len(set(lst)) == len(lst)
+                                      for lst in lists)
+                    distinct = verdict
         else:
             extend_subj = subj_col.extend
             extend_obj = obj_col.extend

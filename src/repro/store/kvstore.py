@@ -42,6 +42,7 @@ segment, and compaction drops the whole cache.
 from __future__ import annotations
 
 from bisect import bisect_right
+from heapq import heappop, heappush
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
@@ -135,11 +136,22 @@ class _TopKSketch:
     maintaining it charges nothing.
     """
 
-    __slots__ = ("capacity", "counts")
+    __slots__ = ("capacity", "counts", "_floor", "_cohort", "_cohort_pos")
 
     def __init__(self, capacity: int = TOPK_CAPACITY):
         self.capacity = capacity
         self.counts: Dict[int, int] = {}
+        #: Lazily maintained eviction cohort: the keys whose count equals
+        #: ``_floor``, in dict (= first-insertion) order, captured at the
+        #: last rescan.  Counts only ever grow and entrants start at
+        #: ``_floor + 1``, so until the cohort is exhausted the dict-order
+        #: first key still holding ``_floor`` is exactly
+        #: ``min(counts, key=counts.__getitem__)``; bumped members are
+        #: skipped on pop.  Rescans amortize across the whole cohort,
+        #: replacing the O(capacity) ``min`` per eviction.
+        self._floor = 0
+        self._cohort: List[int] = []
+        self._cohort_pos = 0
 
     def bump(self, vid: int) -> None:
         counts = self.counts
@@ -150,8 +162,21 @@ class _TopKSketch:
         if len(counts) < self.capacity:
             counts[vid] = 1
             return
-        victim = min(counts, key=counts.__getitem__)
-        floor = counts.pop(victim)
+        cohort = self._cohort
+        pos = self._cohort_pos
+        floor = self._floor
+        while True:
+            if pos >= len(cohort):
+                floor = self._floor = min(counts.values())
+                cohort = self._cohort = \
+                    [key for key, held in counts.items() if held == floor]
+                pos = 0
+            victim = cohort[pos]
+            pos += 1
+            if counts.get(victim) == floor:
+                break
+        self._cohort_pos = pos
+        del counts[victim]
         counts[vid] = floor + 1
 
     def estimate(self, vid: int) -> Optional[int]:
@@ -192,6 +217,11 @@ class ShardStore:
         #: so this is exactly ``sns[-1] != BASE_SN``).  Compaction — a
         #: charge-free bookkeeping pass — only needs to visit these.
         self._versioned: Set[Key] = set()
+        #: Min-heap of ``(oldest non-base SN, key)`` with exactly one live
+        #: entry per versioned key, so compaction pops only the keys whose
+        #: oldest versioned entry is actually due instead of scanning the
+        #: whole versioned set every cycle.
+        self._versioned_heap: List[Tuple[int, Key]] = []
         #: Entries inserted per ``(eid, d)`` bucket (packed low key bits),
         #: maintained at load/injection time for the cost-aware planner.
         self._pred_entries: Dict[int, int] = {}
@@ -216,7 +246,10 @@ class ShardStore:
                 meter.charge(self.cost.create_key_ns, category="insert")
         offset = values.append(vid, sn)
         if sn != BASE_SN:
-            self._versioned.add(key)
+            versioned = self._versioned
+            if key not in versioned:
+                versioned.add(key)
+                heappush(self._versioned_heap, (sn, key))
         bucket = key & _PRED_MASK
         self._pred_entries[bucket] = self._pred_entries.get(bucket, 0) + 1
         sketch = self._degree_sketches.get(bucket)
@@ -230,6 +263,138 @@ class ShardStore:
         if meter is not None:
             meter.charge(self.cost.insert_entry_ns, category="insert")
         return ValueSpan(key, offset, 1)
+
+    def note_insert(self, key: Key) -> None:
+        """Per-entry planner statistics of one insert (bucket entry count
+        and degree-sketch bump) without the value append.
+
+        The bulk injection path calls this in tuple-arrival order — the
+        sketch's eviction ties are order-sensitive, so bumps may not be
+        grouped per key — and appends the values per key afterwards via
+        :meth:`insert_column`.  ``insert`` == ``note_insert`` +
+        a one-entry ``insert_column``, charges included.
+        """
+        bucket = key & _PRED_MASK
+        self._pred_entries[bucket] = self._pred_entries.get(bucket, 0) + 1
+        sketch = self._degree_sketches.get(bucket)
+        if sketch is None:
+            sketch = self._degree_sketches[bucket] = _TopKSketch()
+        sketch.bump(key >> _PRED_BITS)
+
+    def insert_column(self, key: Key, vids: List[int], sn: int = BASE_SN,
+                      meter: Optional[LatencyMeter] = None) -> ValueSpan:
+        """Bulk-append one key's batch contribution under one snapshot.
+
+        Equivalent to ``len(vids)`` consecutive :meth:`insert` calls minus
+        the per-entry statistics (see :meth:`note_insert`): same value
+        list, same charges (``create_key_ns`` on a fresh key plus one
+        ``insert_entry_ns`` per entry), one coalesced span.
+        """
+        values = self._values.get(key)
+        if values is None:
+            values = _ValueList()
+            self._values[key] = values
+            if meter is not None:
+                meter.charge(self.cost.create_key_ns, category="insert")
+        sns = values.sns
+        if sns and sn < sns[-1]:
+            raise StoreError(
+                f"snapshot numbers must be appended in order: "
+                f"{sn} after {sns[-1]}")
+        offset = len(values.vids)
+        count = len(vids)
+        values.vids += vids
+        sns += [sn] * count
+        if sn != BASE_SN:
+            versioned = self._versioned
+            if key not in versioned:
+                versioned.add(key)
+                heappush(self._versioned_heap, (sn, key))
+        if self._adjacency:
+            dropped = self._adjacency.pop(key, None)
+            if dropped is not None:
+                self._adjacency_weight -= 1 + len(dropped[1])
+        if meter is not None:
+            meter.charge(self.cost.insert_entry_ns, times=count,
+                         category="insert")
+        return ValueSpan(key, offset, count)
+
+    def insert_groups(self, groups: Dict[Key, List[int]], sn: int = BASE_SN,
+                      meter: Optional[LatencyMeter] = None) -> List[ValueSpan]:
+        """Bulk :meth:`insert_column` + :meth:`add_index` over one batch's
+        per-key value groups, in group order; returns the spans in the
+        same order.
+
+        Every charge involved is an integer in the "insert" category, so
+        the per-key interleaving collapses into two aggregated calls
+        (key/index creations, entry appends) with an exactly identical
+        sum — the injector flushes them through its ChargeSet as before.
+        """
+        values_dict = self._values
+        values_get = values_dict.get
+        versioned = sn != BASE_SN
+        versioned_set = self._versioned
+        heap = self._versioned_heap
+        adjacency = self._adjacency
+        adjacency_pop = adjacency.pop if adjacency else None
+        index_members = self._index_members
+        index_lists = self._index
+        spans: List[ValueSpan] = []
+        append_span = spans.append
+        created_keys = 0
+        index_entries = 0
+        entries = 0
+        for key, vids in groups.items():
+            values = values_get(key)
+            if values is None:
+                values = _ValueList()
+                values_dict[key] = values
+                created_keys += 1
+            sns = values.sns
+            if sns and sn < sns[-1]:
+                raise StoreError(
+                    f"snapshot numbers must be appended in order: "
+                    f"{sn} after {sns[-1]}")
+            value_list = values.vids
+            offset = len(value_list)
+            count = len(vids)
+            if count == 1:
+                # Most keys receive a single value per batch: append
+                # beats building the one-element [sn] list.
+                value_list.append(vids[0])
+                sns.append(sn)
+            else:
+                value_list += vids
+                sns += [sn] * count
+            entries += count
+            if versioned and key not in versioned_set:
+                versioned_set.add(key)
+                heappush(heap, (sn, key))
+            if adjacency_pop is not None:
+                dropped = adjacency_pop(key, None)
+                if dropped is not None:
+                    self._adjacency_weight -= 1 + len(dropped[1])
+            append_span(ValueSpan(key, offset, count))
+            # Inlined add_index (key packing guarantees a valid direction).
+            slot = ((key & _PRED_MASK) >> 1, key & 1)
+            members = index_members.get(slot)
+            if members is None:
+                members = index_members[slot] = set()
+                index_lists[slot] = []
+            vid = key >> _PRED_BITS
+            if vid not in members:
+                members.add(vid)
+                index_lists[slot].append(vid)
+                index_entries += 1
+        if meter is not None:
+            if created_keys:
+                meter.charge(self.cost.create_key_ns, times=created_keys,
+                             category="insert")
+            if entries or index_entries:
+                meter.charge(self.cost.insert_entry_ns,
+                             times=entries + index_entries,
+                             category="insert")
+        return spans
 
     def add_index(self, eid: int, d: int, vid: int,
                   meter: Optional[LatencyMeter] = None) -> bool:
@@ -254,31 +419,36 @@ class ShardStore:
         """Bounded scalarization: fold SNs <= ``bound_sn`` into the base.
 
         Returns how many keys were touched.  Only keys holding non-base
-        SNs can change (all-base lists are fixpoints), so only
-        ``_versioned`` keys are visited.  A key's distinct-segment count
-        changes exactly when the relabelled prefix held more than one
-        distinct SN — with non-decreasing SNs that is an O(1)
+        SNs can change (all-base lists are fixpoints), and among those
+        only keys whose *oldest* non-base SN is already due — everything
+        else would bisect to an all-base (or empty) prefix and no-op, so
+        the due-key heap skips them outright.  A key's distinct-segment
+        count changes exactly when the relabelled prefix held more than
+        one distinct SN — with non-decreasing SNs that is an O(1)
         first-vs-last check, preserving the original return value.
         """
-        # Relabelling can change which entries are visible at snapshots
-        # below the bound; drop every cached segment rather than reason
-        # about which survive (compaction is rare and off the hot path).
-        self._adjacency.clear()
-        self._adjacency_weight = 0
+        # Cached adjacency segments survive compaction: relabelling never
+        # moves values, and ``cached_adjacency`` validates each hit
+        # against the live SN list (see its docstring), so stale
+        # visibility can never be served.
         touched = 0
-        settled = []
-        for key in self._versioned:
-            sns = self._values[key].sns
+        heap = self._versioned_heap
+        versioned = self._versioned
+        values = self._values
+        while heap and heap[0][0] <= bound_sn:
+            _, key = heappop(heap)
+            sns = values[key].sns
+            # The popped SN is still present in ``sns`` (relabelling only
+            # happens on pop), so the bisected prefix is never empty.
             cut = bisect_right(sns, bound_sn)
-            if cut == 0:
-                continue
             if sns[0] != sns[cut - 1]:
                 touched += 1
             if sns[cut - 1] != BASE_SN:
                 sns[:cut] = [BASE_SN] * cut
             if cut == len(sns):
-                settled.append(key)
-        self._versioned.difference_update(settled)
+                versioned.discard(key)
+            else:
+                heappush(heap, (sns[cut], key))
         return touched
 
     # -- adjacency-segment cache ---------------------------------------
@@ -286,10 +456,28 @@ class ShardStore:
                          ) -> Optional[Tuple[List[int], int]]:
         """The cached ``(visible prefix, total length)`` of ``key`` at
         ``max_sn``, or None on a miss.  Charge-free: callers must charge
-        exactly what an uncached lookup would."""
+        exactly what an uncached lookup would.
+
+        A cached segment serves *any* bound that bisects to the same
+        visible prefix, not just the bound it was recorded under: inserts
+        invalidate the key, so while an entry exists the key's value list
+        is unchanged since caching and ``entry prefix == vids[:len(entry
+        prefix)]`` holds — the entry is correct at ``max_sn`` exactly when
+        ``max_sn``'s cut equals that length.  (This also makes entries
+        immune to compaction: relabelling moves SNs *down*, never the
+        values, and the cut comparison reads the live SN list.)
+        """
         cache = self._adjacency
         entry = cache.get(key)
-        if entry is not None and entry[0] == max_sn:
+        if entry is not None:
+            if entry[0] != max_sn:
+                values = self._values.get(key)
+                sns: List[int] = values.sns if values is not None else []
+                cut = len(sns) if max_sn is None \
+                    else bisect_right(sns, max_sn)
+                if cut != len(entry[1]):
+                    self.adjacency_misses += 1
+                    return None
             self.adjacency_hits += 1
             if self.adjacency_policy == "lru":
                 # Move-to-end: dicts preserve insertion order, so the

@@ -56,7 +56,16 @@ class WindowPlanner:
     def batch_range(self, close_ms: int) -> Tuple[int, int]:
         """Inclusive batch-number range ``(first, last)`` whose intervals
         overlap the window closing at ``close_ms`` (``first > last`` means
-        the window is empty)."""
+        the window is empty).
+
+        Because the step is a whole number of batch intervals, consecutive
+        closes slide both endpoints forward by ``step_ms /
+        batch_interval_ms`` batches: each close drops that many expired
+        batches from the front of the range and appends that many newly
+        closed ones at the back.  The columnar window views
+        (``core.stream_index.ColumnarSlice``) maintain their per-key
+        columns incrementally off exactly this drop/extend delta.
+        """
         window_start, window_end = self.window.span_at(close_ms)
         last = self.last_batch_needed(window_end)
         if window_start < self.stream_start_ms:

@@ -1,0 +1,155 @@
+"""ColumnarSlice: incremental window deltas vs fresh materialization.
+
+The columnar view must be a pure cache: after any sequence of advances,
+every column it serves must equal what a fresh view built directly at
+the final range would produce — same values, same merged-span geometry
+(the simulated-charge input), same vertex columns.  The counters the
+stats dashboard surfaces (hits/misses, delta hits/misses, evictions) are
+checked alongside.
+"""
+
+from repro.core.stream_index import ColumnarSlice, IndexSlice, StreamIndex
+from repro.rdf.ids import DIR_OUT, make_key
+from repro.store.kvstore import ValueSpan
+
+KEY = make_key(7, 3, DIR_OUT)
+OTHER = make_key(8, 3, DIR_OUT)
+
+
+class _FakeShard:
+    def __init__(self, values):
+        self._values = values
+
+    def lookup_span(self, span, meter=None, category="store"):
+        return self._values[span.key][span.offset:span.offset + span.length]
+
+
+class _FakeStore:
+    def __init__(self, values):
+        self.shards = [_FakeShard(values)]
+
+
+def make_slice(batch_no, spans):
+    piece = IndexSlice(batch_no)
+    for owner, span in spans:
+        piece.add_span(owner, span)
+    return piece
+
+
+def build_fixture():
+    """Three batches of KEY (with a duplicate value in batch 1) and one
+    batch of OTHER, all owner 0."""
+    index = StreamIndex("S")
+    index.append_slice(make_slice(1, [(0, ValueSpan(KEY, 0, 3))]))
+    index.append_slice(make_slice(2, [(0, ValueSpan(KEY, 3, 2)),
+                                      (0, ValueSpan(OTHER, 0, 1))]))
+    index.append_slice(make_slice(3, [(0, ValueSpan(KEY, 5, 1))]))
+    store = _FakeStore({KEY: [10, 11, 10, 12, 13, 14], OTHER: [20]})
+    return index, store
+
+
+def assert_same_view(advanced, fresh, keys=(KEY, OTHER)):
+    for key in keys:
+        a, f = advanced.key_column(key), fresh.key_column(key)
+        if f is None:
+            assert a is None
+            continue
+        assert a.values == f.values
+        assert a.merged == f.merged
+        assert a.batch_counts == f.batch_counts
+    assert advanced.vertices(3, DIR_OUT) == fresh.vertices(3, DIR_OUT)
+
+
+def test_slide_forward_equals_fresh_build():
+    index, store = build_fixture()
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    view.key_column(KEY)  # materialize before the slide
+    view.key_column(OTHER)
+    view.vertices(3, DIR_OUT)
+    view.advance(2, 3)  # drop batch 1, append batch 3
+    fresh = ColumnarSlice(index, store)
+    fresh.advance(2, 3)
+    assert_same_view(view, fresh)
+    assert view.key_column(KEY).values == [12, 13, 14]
+
+
+def test_drop_only_and_extend_only_slides():
+    index, store = build_fixture()
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    view.key_column(KEY)
+    view.advance(2, 2)  # pure drop
+    fresh = ColumnarSlice(index, store)
+    fresh.advance(2, 2)
+    assert_same_view(view, fresh)
+    view.advance(2, 3)  # pure extend
+    fresh2 = ColumnarSlice(index, store)
+    fresh2.advance(2, 3)
+    assert_same_view(view, fresh2)
+
+
+def test_merged_spans_recoalesce_across_slides():
+    # Batches 1 and 2 are contiguous in KEY's value list: the fresh view
+    # merges them into one span, and the delta path must end with the
+    # same geometry after dropping/appending.
+    index, store = build_fixture()
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    assert view.key_column(KEY).merged == [(0, ValueSpan(KEY, 0, 5))]
+    view.advance(2, 3)
+    assert view.key_column(KEY).merged == [(0, ValueSpan(KEY, 3, 3))]
+
+
+def test_disjoint_advance_resets_and_counts_evictions():
+    index, store = build_fixture()
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    view.key_column(KEY)
+    view.vertices(3, DIR_OUT)
+    assert view.delta_misses == 1  # first materialization
+    view.advance(2, 3)
+    assert view.delta_hits == 1
+    cached = view.entries
+    assert cached > 0
+    # A range sharing no slice with the previous one rebuilds from
+    # scratch: every cached column is evicted and the delta misses.
+    view.advance(10, 12)
+    assert view.delta_misses == 2
+    assert view.evictions >= cached
+    assert view.key_column(KEY) is None  # nothing in that range
+
+
+def test_hit_miss_counters_and_memo_invalidation():
+    index, store = build_fixture()
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    col = view.key_column(KEY)
+    assert (view.hits, view.misses) == (0, 1)
+    assert view.key_column(KEY) is col
+    assert view.hits == 1
+    # Batch 1 holds a duplicate (10): not distinct, and the verdict and
+    # set are memoized on the column.
+    assert col.values == [10, 11, 10, 12, 13]
+    assert not col.is_distinct()
+    assert col.value_set() == {10, 11, 12, 13}
+    view.advance(2, 3)
+    # Same column object survives the slide; memos must be recomputed
+    # for the new values.
+    assert view.key_column(KEY) is col
+    assert col.is_distinct()
+    assert col.value_set() == {12, 13, 14}
+
+
+def test_cached_absent_key_invalidated_by_extension():
+    index, store = build_fixture()
+    absent_until_3 = make_key(9, 3, DIR_OUT)
+    store.shards[0]._values[absent_until_3] = [30]
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    assert view.key_column(absent_until_3) is None  # cached absent
+    index.append_slice(make_slice(4, [(0, ValueSpan(absent_until_3,
+                                                    0, 1))]))
+    view.advance(2, 4)
+    col = view.key_column(absent_until_3)
+    assert col is not None and col.values == [30]

@@ -3,8 +3,9 @@
 The cache is a wall-clock optimization only — a hit must charge exactly
 the remote reads, hash probe and per-entry scan an uncached lookup
 charges, in the same order, so simulated time never depends on cache
-state.  Inserts invalidate the written key and compaction drops the
-whole cache (visibility at old snapshots may change).
+state.  Inserts invalidate the written key; cached segments survive
+compaction and serve any snapshot bound that bisects to the same
+visible prefix (each hit is validated against the live SN list).
 """
 
 from repro.rdf.ids import DIR_IN, DIR_OUT, make_key
@@ -90,7 +91,8 @@ def test_cache_entries_are_snapshot_specific():
     assert new == [b, c]
 
 
-def test_compaction_drops_cached_segments():
+def test_cached_segments_survive_compaction():
+    """Relabelling moves SNs, never values, so entries stay correct."""
     cluster, strings, store = build()
     store.load(parse_triples("a p b ."))
     a = strings.entity_id("a")
@@ -100,7 +102,32 @@ def test_compaction_drops_cached_segments():
     store.neighbors_from(0, a, p, DIR_OUT, LatencyMeter())
     assert store.shards[0].cached_adjacency(key, None) is not None
     store.compact(BASE_SN)
-    assert store.shards[0].cached_adjacency(key, None) is None
+    assert store.shards[0].cached_adjacency(key, None) is not None
+    assert store.neighbors_from(0, a, p, DIR_OUT, LatencyMeter()) == [
+        strings.entity_id("b")]
+
+
+def test_versioned_reads_after_compaction_stay_correct():
+    """A segment cached at an old bound must not serve a bound whose
+    visible prefix differs, before or after compaction relabels SNs."""
+    cluster, strings, store = build()
+    store.load(parse_triples("a p b ."))
+    a = strings.entity_id("a")
+    b = strings.entity_id("b")
+    p = strings.predicate_id("p")
+    c = strings.entity_id("c")
+    store.shards[0].insert(make_key(a, p, DIR_OUT), c, sn=BASE_SN + 3)
+
+    meter = LatencyMeter()
+    assert store.neighbors_from(0, a, p, DIR_OUT, meter,
+                                max_sn=BASE_SN) == [b]
+    # Different bound, different prefix: the BASE_SN entry must miss.
+    assert store.neighbors_from(0, a, p, DIR_OUT, meter,
+                                max_sn=BASE_SN + 3) == [b, c]
+    store.compact(BASE_SN + 3)
+    # After relabelling everything into the base, any bound sees both.
+    assert store.neighbors_from(0, a, p, DIR_OUT, meter,
+                                max_sn=BASE_SN) == [b, c]
 
 
 def test_predicate_cardinality_counts_entries_and_keys():

@@ -58,6 +58,51 @@ def test_next_execution_times():
     assert next_execution_ms(500, 1000, 2600) == 3500
 
 
+def test_batch_range_opens_before_nonzero_stream_start():
+    # Window [1500, 2500) over a stream whose batch #1 opens at 2000:
+    # the pre-stream half clamps to batch 1, not to a negative number.
+    p = planner(range_ms=1000, start=2000)
+    assert p.batch_range(2500) == (1, 5)
+    # A window lying entirely before the stream opened is empty.
+    p_wide = planner(range_ms=500, start=2000)
+    assert p_wide.batch_range(1800)[0] > p_wide.batch_range(1800)[1]
+
+
+def test_batch_range_empty_windows_first_exceeds_last():
+    # Close exactly at stream start: nothing has been delivered.
+    p = planner(start=1000)
+    first, last = p.batch_range(1000)
+    assert first > last
+    # Mid-first-batch close: batch 1 has not closed its interval yet.
+    first, last = p.batch_range(1050)
+    assert first > last
+    assert p.batch_range(1100) == (1, 1)
+
+
+def test_batch_range_step_equals_batch_interval_boundaries():
+    # STEP == batch interval: consecutive closes slide by exactly one
+    # batch — drop one expired batch, append one newly closed batch.
+    p = planner(range_ms=1000, step_ms=100, interval=100)
+    previous = None
+    for close in range(1000, 2100, 100):
+        first, last = p.batch_range(close)
+        assert last - first + 1 == 10  # full 10-batch window
+        if previous is not None:
+            assert (first, last) == (previous[0] + 1, previous[1] + 1)
+        previous = (first, last)
+
+
+def test_batch_range_slide_overlap_is_delta_reusable():
+    # RANGE 1000 STEP 300 over 100ms batches: each slide drops 3
+    # batches and appends 3 — the overlap a delta-maintained window
+    # view retains between closes.
+    p = planner(range_ms=1000, step_ms=300)
+    f1, l1 = p.batch_range(2000)
+    f2, l2 = p.batch_range(2300)
+    assert (f2 - f1, l2 - l1) == (3, 3)
+    assert f2 <= l1  # overlapping, so the delta path applies
+
+
 def test_expiry_floor():
     windows = {"A": WindowSpec(1000, 100), "B": WindowSpec(5000, 100)}
     assert expiry_floor_ms(10_000, windows) == 5_000
