@@ -26,6 +26,20 @@ on a fixed LSBench workload and records the medians in
     entry is the batch-vs-row ratio (the row kernels *are* the seed
     behaviour for this scenario — no seed baseline file predates it).
 
+``serving``
+    The concurrent-query serving layer: 1024 continuous subscriptions
+    registered through the proxies against shared window state
+    (common-subplan sharing dedupes them to a few dozen backing
+    queries), with multi-tenant one-shot traffic fair-scheduled between
+    window closes.  The same workload with sharing disabled — every
+    subscription its own backing query — rides along as an
+    ``unshared_path`` pseudo-phase, and the scenario's
+    ``speedup_vs_seed`` entry is the unshared-vs-shared ratio (per-query
+    evaluation *is* the seed behaviour; no baseline file predates the
+    serving layer).  The deterministic simulated-clock figures
+    (aggregate throughput, one-shot and close p50/p99/p999) are recorded
+    under the scenario's ``simulated`` key.
+
 Simulated results are guarded separately (``tests/core/test_determinism``):
 optimizations must move these numbers and *only* these numbers.
 
@@ -204,12 +218,94 @@ def run_distributed(duration_ms: int, rounds: int = 5):
     return batch_elapsed, {"row_path": row_elapsed}
 
 
+#: Serving-scenario shape: enough subscriptions to exercise the paper's
+#: "thousands of registered queries" serving story, deduped by plan
+#: sharing to a few dozen backing queries.
+SERVING_SUBSCRIPTIONS = 1_024
+SERVING_TENANTS = 8
+
+
+def _serving_run(duration_ms: int, sharing: bool):
+    """One serving run; returns the layer after the drive loop.
+
+    The tiny dataset keeps the *unshared* control affordable (1024
+    backing queries closing windows every 300 ms); what the scenario
+    times is the serving layer — registration, sharing, fan-out, fair
+    scheduling — not raw engine throughput, which ``continuous`` and
+    ``oneshot`` already cover at full scale.
+    """
+    from repro.serving import AdmissionPolicy, ServingLayer
+
+    bench = LSBench(LSBenchConfig.tiny())
+    engine = build_wukongs(bench, num_nodes=2, duration_ms=duration_ms)
+    policy = AdmissionPolicy(oneshot_slots_per_tick=32)
+    serving = ServingLayer(engine, policy=policy, sharing=sharing)
+    tenants = [f"tenant{i}" for i in range(SERVING_TENANTS)]
+    for i in range(SERVING_SUBSCRIPTIONS):
+        text = bench.continuous_query(f"L{1 + i % 4}",
+                                      start_user=(i // 4) % 13,
+                                      range_ms=600, step_ms=300)
+        serving.register(tenants[i % SERVING_TENANTS], text)
+    ticks = duration_ms // 100
+    for tick in range(ticks):
+        for j in range(4):
+            serving.submit(tenants[(tick + j) % SERVING_TENANTS],
+                           bench.oneshot_query(f"S{1 + (tick + j) % 3}",
+                                               start_user=j))
+        serving.tick()
+    serving.tick()  # drain the final tick's submissions
+    return serving
+
+
+def run_serving(duration_ms: int):
+    """Shared-serving wall time, with the unshared control riding along.
+
+    Both runs serve the identical workload and produce identical
+    per-subscriber results (``tests/serving/test_sharing_property.py``
+    proves it); the wall-time gap is the executions the shared run never
+    ran.  Simulated figures are taken from the shared run — they are
+    deterministic, so one copy suffices.
+    """
+    shared_box = {}
+
+    def shared_run():
+        shared_box["serving"] = _serving_run(duration_ms, sharing=True)
+
+    shared_elapsed = _timed(shared_run)
+    unshared_elapsed = _timed(
+        lambda: _serving_run(duration_ms, sharing=False))
+    serving = shared_box["serving"]
+    snapshot = serving.snapshot()
+    seconds = duration_ms / 1_000.0
+    simulated = {
+        "subscriptions": snapshot.subscriptions,
+        "shared_queries": snapshot.shared_queries,
+        "sharing_ratio": round(snapshot.subscriptions
+                               / max(1, snapshot.shared_queries), 2),
+        "closes_evaluated": snapshot.closes_evaluated,
+        "results_delivered": snapshot.results_delivered,
+        "executions_saved": snapshot.executions_saved,
+        "oneshots_served": snapshot.oneshots_served,
+        "throughput_per_s": round(
+            (snapshot.results_delivered + snapshot.oneshots_served)
+            / seconds, 1),
+        "oneshot_latency_ms": serving.latency_percentiles("oneshot"),
+        "close_latency_ms": serving.latency_percentiles("close"),
+    }
+    return shared_elapsed, {"unshared_path": unshared_elapsed}, simulated
+
+
 SCENARIOS = {
     "injection": run_injection,
     "continuous": run_continuous_phased,
     "oneshot": run_oneshot_phased,
     "distributed": run_distributed,
+    "serving": run_serving,
 }
+
+#: Scenarios whose seed behaviour is a same-run control path, not a
+#: baseline file: pseudo-phase name -> the speedup is phase / median.
+SELF_BASELINED = {"distributed": "row_path", "serving": "unshared_path"}
 
 
 def measure(duration_ms: int, repeats: int) -> dict:
@@ -217,10 +313,17 @@ def measure(duration_ms: int, repeats: int) -> dict:
     for name, runner in SCENARIOS.items():
         runs = []
         phase_runs = {}
+        simulated = None
         for _ in range(repeats):
             run = runner(duration_ms)
             if isinstance(run, tuple):
-                run, phases = run
+                if len(run) == 3:
+                    # (elapsed, phases, simulated): the simulated-clock
+                    # figures are deterministic across repeats, so the
+                    # last copy is every copy.
+                    run, phases, simulated = run
+                else:
+                    run, phases = run
                 for phase, value in phases.items():
                     phase_runs.setdefault(phase, []).append(value)
             runs.append(run)
@@ -237,6 +340,14 @@ def measure(duration_ms: int, repeats: int) -> dict:
             breakdown = ", ".join(f"{phase} {medians[phase]:.3f}s"
                                   for phase in sorted(medians))
             print(f"{'':12s} phases: {breakdown}", flush=True)
+        if simulated is not None:
+            results[name]["simulated"] = simulated
+            oneshot = simulated.get("oneshot_latency_ms", {})
+            print(f"{'':12s} simulated: "
+                  f"{simulated.get('throughput_per_s', 0):g} results/s, "
+                  f"oneshot p50 {oneshot.get('p50_ms', 0):.3f}ms "
+                  f"p99 {oneshot.get('p99_ms', 0):.3f}ms "
+                  f"p99.9 {oneshot.get('p99_9_ms', 0):.3f}ms", flush=True)
     return results
 
 
@@ -341,13 +452,14 @@ def main(argv=None) -> int:
                 name: base["median_s"]
                 for name, base in baseline.get("scenarios", {}).items()
             }
-    # The distributed scenario predates no seed baseline: its reference
-    # is the row-kernel path it replaced, timed in the same run.
-    distributed = results.get("distributed")
-    if distributed and distributed["median_s"] > 0:
-        row_path = distributed.get("phases_s", {}).get("row_path")
-        if row_path:
-            speedups["distributed"] = row_path / distributed["median_s"]
+    # Self-baselined scenarios predate no seed baseline: each one's
+    # reference is the control path it replaced, timed in the same run.
+    for name, phase in SELF_BASELINED.items():
+        result = results.get(name)
+        if result and result["median_s"] > 0:
+            control = result.get("phases_s", {}).get(phase)
+            if control:
+                speedups[name] = control / result["median_s"]
     if speedups:
         report["speedup_vs_seed"] = speedups
         for name, speedup in sorted(speedups.items()):

@@ -34,7 +34,13 @@ THRESHOLD = 0.6
 #: window-delta cache, and losing either (views never built, deltas never
 #: hit) collapses the speedup several-fold — well below 0.7x of the
 #: committed figure even on a noisy machine.
-SCENARIO_THRESHOLDS = {"continuous": 0.7}
+#: The serving scenario's speedup is the unshared-vs-shared execution
+#: ratio measured in the same run; both sides see the same machine
+#: noise, so the ratio is steadier than cross-run comparisons.  What the
+#: floor must catch is plan sharing silently disabled — every
+#: subscription running its own window closes — which collapses the
+#: ratio to ~1x, far below 0.6x of any committed figure.
+SCENARIO_THRESHOLDS = {"continuous": 0.7, "serving": 0.6}
 
 
 def main(argv=None) -> int:

@@ -1,12 +1,14 @@
 #!/bin/sh
 # Tier-1 gate: the full test suite plus a quick wall-clock benchmark.
 #
-# The suite is split so the fast tier stays fast: the chaos suite
-# (fault-injection equivalence, ~seconds but the slowest block) is marked
-# `chaos` and run separately, followed by the columnar differential
-# suite (batch vs row window closes must be bit-identical, including
-# under a kill-during-close fault plan; DESIGN.md §4.9) and a drift
-# check of the golden files (scripts/regen_goldens.py --check).
+# The suite is split so the fast tier stays fast: the serving battery
+# (thousands of concurrent subscriptions; marked `serving`) and the
+# chaos suite (fault-injection equivalence; marked `chaos`) are the
+# slowest blocks and run as their own stages, followed by the columnar
+# differential suite (batch vs row window closes must be bit-identical,
+# including under a kill-during-close fault plan; DESIGN.md §4.9) and a
+# drift check of the golden files (scripts/regen_goldens.py --check).
+# A test marked both serving and chaos runs in the chaos stage only.
 #
 # The obs stage exports a Chrome trace from a quick traced LSBench run
 # and validates it (schema, lossless round trip, and per-activity
@@ -25,7 +27,10 @@ set -e
 cd "$(dirname "$0")/.."
 
 echo "== tier-1 tests (fast tier) =="
-PYTHONPATH=src python -m pytest -x -q -m "not chaos"
+PYTHONPATH=src python -m pytest -x -q -m "not chaos and not serving"
+
+echo "== serving battery (sharing, admission, fairness) =="
+PYTHONPATH=src python -m pytest -x -q -m "serving and not chaos"
 
 echo "== chaos suite (fault injection + recovery equivalence) =="
 PYTHONPATH=src python -m pytest -x -q -m chaos

@@ -119,6 +119,23 @@ class ClientLibrary:
         return ClientSubscription(library=self, procedure=procedure,
                                   handle=handle)
 
+    def subscribe(self, procedure: StoredProcedure,
+                  handle: RegisteredQuery) -> ClientSubscription:
+        """Multiplex a subscription onto an existing registration.
+
+        The serving layer's common-subplan sharing registers *one* backing
+        continuous query per distinct normalized AST + window spec and
+        fans each window close out to every subscriber: each subscription
+        returned here keeps its own delivery cursor over the shared
+        handle's executions, so N clients read the same execution records
+        independently — one evaluation, N deliveries.
+        """
+        if not procedure.is_continuous:
+            raise ValueError("one-shot procedures cannot subscribe to a "
+                             "continuous registration")
+        return ClientSubscription(library=self, procedure=procedure,
+                                  handle=handle)
+
     # -- client-side steps --------------------------------------------------
     def prepare(self, text: str) -> StoredProcedure:
         """Parse (cached) and resolve new constants via the string server."""

@@ -83,6 +83,10 @@ class ProxyStats:
 
     oneshot_requests: int = 0
     registrations: int = 0
+    #: Subscriptions multiplexed onto an already-registered backing query
+    #: (the serving layer's common-subplan sharing): no engine-side
+    #: registration happened, only a new delivery cursor.
+    multiplexed_subscriptions: int = 0
     timeouts: int = 0
     retries: int = 0
     failures: int = 0
@@ -107,16 +111,33 @@ class Proxy:
     def engine(self) -> WukongSEngine:
         return self.library.engine
 
-    def submit(self, text: str) -> ClientResult:
-        """Fire-and-hope submission (healthy-path API, unchanged)."""
+    def submit(self, text: str,
+               home_node: Optional[int] = None) -> ClientResult:
+        """Fire-and-hope submission (healthy-path API, unchanged).
+
+        ``home_node`` overrides this proxy's node affinity — the serving
+        layer uses it to steer one-shot traffic to the least
+        injection-loaded node instead of the proxy's pinned neighbour.
+        """
         self.stats.oneshot_requests += 1
-        return self.library.submit(text, home_node=self.affinity_node)
+        home = self.affinity_node if home_node is None else home_node
+        return self.library.submit(text, home_node=home)
 
     def register(self, text: str) -> ClientSubscription:
         self.stats.registrations += 1
         # Continuous queries keep locality-aware placement: the engine
         # decides the home node, not the proxy.
         return self.library.register(text, home_node=None)
+
+    def prepare(self, text: str):
+        """Parse ``text`` through this proxy's shared procedure cache."""
+        return self.library.prepare(text)
+
+    def subscribe(self, procedure, handle) -> ClientSubscription:
+        """Multiplex a subscription onto an existing backing registration
+        (serving-layer plan sharing; no engine-side registration)."""
+        self.stats.multiplexed_subscriptions += 1
+        return self.library.subscribe(procedure, handle)
 
     # -- robust submission ---------------------------------------------------
     def _cluster_serving(self) -> bool:
@@ -211,10 +232,14 @@ class ProxyPool:
         ]
         self._next = 0
 
-    def _pick(self) -> Proxy:
+    def pick(self) -> Proxy:
+        """The next proxy in round-robin order (load balancing)."""
         proxy = self.proxies[self._next % len(self.proxies)]
         self._next += 1
         return proxy
+
+    # Kept for callers that predate the public name.
+    _pick = pick
 
     def submit(self, text: str) -> ClientResult:
         """Route a one-shot query through the next proxy."""

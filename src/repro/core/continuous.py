@@ -129,16 +129,22 @@ class ContinuousEngine:
 
     # -- registration -------------------------------------------------------
     def register(self, query: Query, now_ms: int,
-                 home_node: Optional[int] = None) -> RegisteredQuery:
+                 home_node: Optional[int] = None,
+                 name: Optional[str] = None) -> RegisteredQuery:
         """Register a continuous query; returns its handle.
 
         The home node defaults to round-robin placement across the cluster
         (each query is served by one worker; many queries spread out).
+        ``name`` overrides the query's own registration name — the serving
+        layer uses this to register many client queries that all carry the
+        same ``REGISTER QUERY`` name (or share one backing registration)
+        without colliding in the engine's namespace.
         """
         if not query.is_continuous:
             raise RegistrationError(
                 "query has no stream windows; submit it as one-shot instead")
-        name = query.name or f"q{len(self.queries)}"
+        if name is None:
+            name = query.name or f"q{len(self.queries)}"
         if name in self.queries:
             raise RegistrationError(f"query name already registered: {name}")
         for stream in query.windows:

@@ -45,6 +45,12 @@ class Dispatcher:
         self.cluster = cluster
         self.source_node = source_node
         self.memory = memory if memory is not None else MemoryModel()
+        #: node_id -> stream tuples routed to that node's injector so far.
+        #: Pure wall-clock bookkeeping (never charged): the serving layer
+        #: reads these to steer one-shot traffic away from injection-hot
+        #: nodes, and operators read them as a per-node load view.
+        self.tuples_routed: Dict[int, int] = {
+            node.node_id: 0 for node in cluster.nodes}
 
     def dispatch(self, adapted: AdaptedBatch,
                  meter: Optional[LatencyMeter] = None) -> Dict[int, NodeBatch]:
@@ -78,6 +84,8 @@ class Dispatcher:
                 triple = encoded.triple
                 batches[owner_of(triple.s)].out_timing.append(encoded)
                 batches[owner_of(triple.o)].in_timing.append(encoded)
+        for node_id, node_batch in batches.items():
+            self.tuples_routed[node_id] += node_batch.num_inserts
         if meter is not None:
             # Transfers to the injectors proceed in parallel; the batch
             # waits for the largest one.

@@ -265,12 +265,17 @@ class WukongSEngine:
 
     # -- queries -----------------------------------------------------------------
     def register_continuous(self, query: Union[str, Query],
-                            home_node: Optional[int] = None
-                            ) -> RegisteredQuery:
-        """Register a C-SPARQL continuous query (text or parsed)."""
+                            home_node: Optional[int] = None,
+                            name: Optional[str] = None) -> RegisteredQuery:
+        """Register a C-SPARQL continuous query (text or parsed).
+
+        ``name`` overrides the registration name (serving-layer backing
+        registrations pick synthetic names so identically named client
+        queries never collide).
+        """
         parsed = parse_query(query) if isinstance(query, str) else query
         return self.continuous.register(parsed, self.clock.now_ms,
-                                        home_node=home_node)
+                                        home_node=home_node, name=name)
 
     def oneshot(self, query: Union[str, Query],
                 home_node: Optional[int] = None) -> OneShotRecord:

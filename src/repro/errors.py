@@ -62,5 +62,32 @@ class ProxyTimeoutError(ReproError):
     """A client request exhausted its retry budget against a degraded cluster."""
 
 
+class AdmissionError(ReproError):
+    """The serving layer rejected a request at admission.
+
+    Admission control never drops work silently: a request the serving
+    layer cannot take on is refused *at submission time* with a subclass
+    of this error naming the exhausted budget, so the client can shed
+    load, retry later, or go to another cell.
+    """
+
+    def __init__(self, message: str, tenant: str = "",
+                 budget: int = 0, in_use: int = 0):
+        self.tenant = tenant
+        self.budget = budget
+        self.in_use = in_use
+        super().__init__(message)
+
+
+class RegistrationAdmissionError(AdmissionError):
+    """A continuous-query registration exceeded a registration budget
+    (total subscriptions, distinct shared plans, or one tenant's share)."""
+
+
+class BacklogAdmissionError(AdmissionError):
+    """A one-shot submission exceeded a backlog budget (total queued
+    requests or one tenant's queue depth)."""
+
+
 class ChaosError(ReproError):
     """A fault plan is malformed or cannot be applied to this engine."""

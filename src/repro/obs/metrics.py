@@ -145,12 +145,15 @@ class MetricsRegistry:
 
 
 def collect_metrics(engine, registry: Optional[MetricsRegistry] = None,
-                    proxies=None) -> MetricsRegistry:
+                    proxies=None, serving=None) -> MetricsRegistry:
     """Pull every subsystem's always-on counters into ``registry``.
 
     ``engine`` is a :class:`~repro.core.engine.WukongSEngine`; ``proxies``
     an optional iterable of :class:`~repro.client.proxy.Proxy` (or a
-    ``ProxyPool``, which iterates its proxies).  Safe to call repeatedly:
+    ``ProxyPool``, which iterates its proxies); ``serving`` an optional
+    :class:`~repro.serving.server.ServingLayer` (its sharing/admission
+    counters are pulled here; its per-tenant latency histograms live in
+    the registry the layer pushes to).  Safe to call repeatedly:
     gauges are overwritten, pulled counters are set (not incremented), so
     the registry always reflects the engine's cumulative totals.
     """
@@ -216,6 +219,15 @@ def collect_metrics(engine, registry: Optional[MetricsRegistry] = None,
     # Injection totals.
     registry.counter("tuples_injected").value = \
         sum(i.tuples_injected for i in engine.injectors)
+    # Per-node stream routing load (the serving layer's one-shot
+    # placement signal).
+    routed: Dict[int, int] = {}
+    for dispatcher in engine.dispatchers.values():
+        for node_id, tuples in dispatcher.tuples_routed.items():
+            routed[node_id] = routed.get(node_id, 0) + tuples
+    for node_id in sorted(routed):
+        registry.gauge("dispatch_tuples_routed", node=node_id).set(
+            routed[node_id])
     # Proxy retry behaviour.
     if proxies is not None:
         pool = getattr(proxies, "proxies", proxies)
@@ -229,4 +241,30 @@ def collect_metrics(engine, registry: Optional[MetricsRegistry] = None,
             registry.counter("proxy_retries", **labels).value = stats.retries
             registry.counter("proxy_failures", **labels).value = \
                 stats.failures
+            registry.counter("proxy_multiplexed_subscriptions",
+                             **labels).value = \
+                stats.multiplexed_subscriptions
+    # Serving layer: sharing, fan-out and admission counters.  The
+    # per-tenant latency histograms are pushed by the layer itself into
+    # its own registry as requests are served.
+    if serving is not None:
+        snapshot = serving.snapshot()
+        registry.gauge("serving_subscriptions").set(snapshot.subscriptions)
+        registry.gauge("serving_shared_queries").set(snapshot.shared_queries)
+        registry.gauge("serving_backlog").set(snapshot.backlog)
+        registry.counter("serving_shared_hits").value = snapshot.shared_hits
+        registry.counter("serving_shared_misses").value = \
+            snapshot.shared_misses
+        registry.counter("serving_closes_evaluated").value = \
+            snapshot.closes_evaluated
+        registry.counter("serving_results_delivered").value = \
+            snapshot.results_delivered
+        registry.counter("serving_executions_saved").value = \
+            snapshot.executions_saved
+        registry.counter("serving_oneshots_served").value = \
+            snapshot.oneshots_served
+        registry.counter("serving_rejections_registration").value = \
+            snapshot.registrations_rejected
+        registry.counter("serving_rejections_backlog").value = \
+            snapshot.oneshots_rejected
     return registry

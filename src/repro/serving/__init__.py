@@ -1,0 +1,29 @@
+"""``repro.serving``: the concurrent-query serving layer.
+
+Thousands of continuous queries registered concurrently against shared
+window state, with common-subplan sharing (one window close feeds N
+subscribers of the same normalized plan), admission control (bounded
+registration and backlog budgets, typed rejections) and per-tenant fair
+scheduling of one-shot traffic interleaved with window closes on the
+simulated clock.  See DESIGN.md §7 for the serving model.
+"""
+
+from repro.serving.admission import AdmissionPolicy
+from repro.serving.registry import SharedEntry, SharedQueryRegistry
+from repro.serving.scheduler import (FairScheduler, OneshotRequest,
+                                     ServedOneshot)
+from repro.serving.server import (ServingLayer, ServingStats,
+                                  ServingSubscription, TenantState)
+
+__all__ = [
+    "AdmissionPolicy",
+    "FairScheduler",
+    "OneshotRequest",
+    "ServedOneshot",
+    "ServingLayer",
+    "ServingStats",
+    "ServingSubscription",
+    "SharedEntry",
+    "SharedQueryRegistry",
+    "TenantState",
+]

@@ -1,0 +1,98 @@
+"""Admission control: bounded budgets with explicit, typed rejections.
+
+"On measuring performances of C-SPARQL and CQELS" (arXiv:1611.08269)
+shows stream engines fall over on the *number* of concurrently registered
+queries, not on query difficulty — so a serving layer must bound what it
+takes on.  The policy here bounds two resources:
+
+* **Registrations** — total subscriptions, distinct shared plans (each
+  one is a real evaluation every window close), and one tenant's share of
+  the subscriptions (a tenant cannot squat the whole registration table).
+* **Backlog** — queued one-shot requests, total and per tenant (a tenant
+  flooding the queue is refused before it can crowd out everyone else's
+  requests; the fair scheduler protects latency, the backlog budget
+  protects memory and admission of *new* tenants).
+
+Every refusal raises a typed :class:`~repro.errors.AdmissionError`
+subclass carrying the tenant and the exhausted budget — never a silent
+drop: work the serving layer accepts is always either served or failed
+loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BacklogAdmissionError, RegistrationAdmissionError
+
+
+@dataclass
+class AdmissionPolicy:
+    """Budgets of one serving layer (all counts, no rates).
+
+    Defaults size a single-cell simulation comfortably above the paper's
+    workloads while keeping every budget small enough that tests can
+    saturate them; production cells would derive these from memory and
+    close-rate headroom.
+    """
+
+    #: Total concurrently registered subscriptions (after sharing).
+    max_subscriptions: int = 4096
+    #: Distinct backing registrations (shared plans actually evaluated).
+    max_shared_queries: int = 2048
+    #: One tenant's share of the subscription budget.
+    max_tenant_subscriptions: int = 2048
+    #: Total queued one-shot requests across all tenants.
+    max_backlog: int = 4096
+    #: One tenant's queue depth.
+    max_tenant_backlog: int = 1024
+    #: One-shot executions the scheduler dispatches per simulated tick
+    #: (the serving capacity the fair scheduler divides among tenants).
+    oneshot_slots_per_tick: int = 64
+
+    # -- checks (raise on refusal, return None on admit) -------------------
+    def admit_registration(self, tenant: str, total: int, tenant_total: int,
+                           shared: int, creates_shared: bool) -> None:
+        """Admit one registration or raise.
+
+        ``total``/``tenant_total`` are current subscription counts,
+        ``shared`` the current distinct backing registrations, and
+        ``creates_shared`` whether this registration would create a new
+        backing plan (a dedup hit never charges the shared budget).
+        """
+        if total >= self.max_subscriptions:
+            raise RegistrationAdmissionError(
+                f"subscription budget exhausted "
+                f"({total}/{self.max_subscriptions}); tenant {tenant!r} "
+                f"must wait for capacity or use another cell",
+                tenant=tenant, budget=self.max_subscriptions, in_use=total)
+        if tenant_total >= self.max_tenant_subscriptions:
+            raise RegistrationAdmissionError(
+                f"tenant {tenant!r} holds {tenant_total}/"
+                f"{self.max_tenant_subscriptions} subscriptions; "
+                f"per-tenant registration budget exhausted",
+                tenant=tenant, budget=self.max_tenant_subscriptions,
+                in_use=tenant_total)
+        if creates_shared and shared >= self.max_shared_queries:
+            raise RegistrationAdmissionError(
+                f"shared-plan budget exhausted "
+                f"({shared}/{self.max_shared_queries}); registration by "
+                f"tenant {tenant!r} would create a new backing query",
+                tenant=tenant, budget=self.max_shared_queries,
+                in_use=shared)
+
+    def admit_oneshot(self, tenant: str, backlog: int,
+                      tenant_backlog: int) -> None:
+        """Admit one one-shot submission into the queue or raise."""
+        if backlog >= self.max_backlog:
+            raise BacklogAdmissionError(
+                f"one-shot backlog full ({backlog}/{self.max_backlog}); "
+                f"request from tenant {tenant!r} refused",
+                tenant=tenant, budget=self.max_backlog, in_use=backlog)
+        if tenant_backlog >= self.max_tenant_backlog:
+            raise BacklogAdmissionError(
+                f"tenant {tenant!r} has {tenant_backlog}/"
+                f"{self.max_tenant_backlog} requests queued; per-tenant "
+                f"backlog budget exhausted",
+                tenant=tenant, budget=self.max_tenant_backlog,
+                in_use=tenant_backlog)

@@ -153,3 +153,78 @@ def test_cached_absent_key_invalidated_by_extension():
     view.advance(2, 4)
     col = view.key_column(absent_until_3)
     assert col is not None and col.values == [30]
+
+
+def test_absent_key_lookups_count_as_hits_once_cached():
+    index, store = build_fixture()
+    missing = make_key(99, 3, DIR_OUT)
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    # First ask walks the postings and caches the absence (a miss);
+    # every later ask is served from the cache (a hit), same as a
+    # present key — absent keys are first-class cache entries.
+    assert view.key_column(missing) is None
+    assert (view.hits, view.misses) == (0, 1)
+    assert view.entries == 1
+    assert view.key_column(missing) is None
+    assert (view.hits, view.misses) == (1, 1)
+    # The invalidation paths must account for them too: a reset evicts
+    # the cached absence along with everything else.
+    view.key_column(KEY)
+    before = view.entries
+    view.advance(10, 12)
+    assert view.evictions >= before
+    assert view.entries == 0
+
+
+def test_absent_key_invalidation_recounts_as_miss():
+    index, store = build_fixture()
+    late = make_key(9, 3, DIR_OUT)
+    store.shards[0]._values[late] = [30]
+    view = ColumnarSlice(index, store)
+    view.advance(1, 2)
+    assert view.key_column(late) is None
+    hits, misses = view.hits, view.misses
+    index.append_slice(make_slice(4, [(0, ValueSpan(late, 0, 1))]))
+    view.advance(2, 4)
+    # The extension dropped the stale absence without counting an
+    # eviction-by-expiry; the re-materialization is a fresh miss.
+    assert view.key_column(late).values == [30]
+    assert (view.hits, view.misses) == (hits, misses + 1)
+
+
+def test_counters_flow_into_cache_stats_and_obs_metrics():
+    """The PR that added the columnar window views wired their counters
+    into the stats dashboard and the metrics registry; assert the full
+    path end to end on a real engine run."""
+    from core.test_engine import QC, build_engine
+    from repro.core.stats import collect_stats
+    from repro.obs.metrics import collect_metrics
+
+    engine = build_engine()
+    engine.register_continuous(QC)
+    engine.run_until(6_000)
+
+    views = [view for handle in engine.continuous.queries.values()
+             for view in handle.window_views.values()]
+    assert views, "the run must have materialized window views"
+    hits = sum(view.hits for view in views)
+    misses = sum(view.misses for view in views)
+    evictions = sum(view.evictions for view in views)
+    delta_hits = sum(view.delta_hits for view in views)
+    assert misses > 0 and delta_hits > 0
+    assert evictions > 0, "sliding windows must have evicted columns"
+
+    caches = collect_stats(engine).caches
+    assert caches.window_hits == hits
+    assert caches.window_misses == misses
+    assert caches.window_evictions == evictions
+    assert caches.window_delta_hits == delta_hits
+    assert 0.0 <= caches.window_hit_rate <= 1.0
+    assert "evictions" in collect_stats(engine).format()
+
+    counters = collect_metrics(engine).snapshot()["counters"]
+    assert counters["window_view_hits"] == hits
+    assert counters["window_view_misses"] == misses
+    assert counters["window_view_evictions"] == evictions
+    assert counters["window_delta_hits"] == delta_hits

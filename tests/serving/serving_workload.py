@@ -1,0 +1,35 @@
+"""Shared fixtures for the serving battery: a tiny LSBench cell.
+
+Every test builds a fresh engine from the same tiny deterministic
+dataset, fronted by a :class:`~repro.serving.server.ServingLayer`;
+knobs (node count, sharing, admission policy) vary per test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bench.harness import build_wukongs
+from repro.bench.lsbench import LSBench, LSBenchConfig
+from repro.serving import AdmissionPolicy, ServingLayer
+
+#: Simulated horizon the workload engines are built for.
+DURATION_MS = 1_000
+
+
+def build_serving(num_nodes: int = 1, sharing: bool = True,
+                  policy: Optional[AdmissionPolicy] = None,
+                  duration_ms: int = DURATION_MS,
+                  ) -> Tuple[LSBench, ServingLayer]:
+    bench = LSBench(LSBenchConfig.tiny())
+    engine = build_wukongs(bench, num_nodes=num_nodes,
+                           duration_ms=duration_ms)
+    serving = ServingLayer(engine, policy=policy, sharing=sharing)
+    return bench, serving
+
+
+def window_query(bench: LSBench, template: str = "L1",
+                 start_user: int = 0, range_ms: int = 400,
+                 step_ms: int = 200) -> str:
+    return bench.continuous_query(template, start_user=start_user,
+                                  range_ms=range_ms, step_ms=step_ms)

@@ -3,17 +3,29 @@
 import pytest
 
 import repro
-from repro.errors import (ConsistencyError, FaultToleranceError, ParseError,
-                          PlanError, RegistrationError, ReproError,
-                          StoreError, StreamError,
-                          UnsupportedOperationError)
+from repro.errors import (AdmissionError, BacklogAdmissionError,
+                          ConsistencyError, FaultToleranceError, ParseError,
+                          PlanError, RegistrationAdmissionError,
+                          RegistrationError, ReproError, StoreError,
+                          StreamError, UnsupportedOperationError)
 
 
 def test_all_errors_derive_from_repro_error():
     for exc_type in (ParseError, PlanError, StoreError, StreamError,
                      ConsistencyError, RegistrationError,
-                     UnsupportedOperationError, FaultToleranceError):
+                     UnsupportedOperationError, FaultToleranceError,
+                     AdmissionError, RegistrationAdmissionError,
+                     BacklogAdmissionError):
         assert issubclass(exc_type, ReproError)
+
+
+def test_admission_errors_carry_budget_context():
+    error = RegistrationAdmissionError("tenant over budget", tenant="t3",
+                                       budget=16, in_use=16)
+    assert isinstance(error, AdmissionError)
+    assert (error.tenant, error.budget, error.in_use) == ("t3", 16, 16)
+    assert issubclass(BacklogAdmissionError, AdmissionError)
+    assert not issubclass(BacklogAdmissionError, RegistrationAdmissionError)
 
 
 def test_parse_error_carries_position():
