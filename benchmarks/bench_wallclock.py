@@ -21,8 +21,8 @@ on a fixed LSBench workload and records the medians in
 ``distributed``
     The S-query plans executed in the distributed modes (fork-join and
     migrate) on a two-node cluster through the columnar batch kernels;
-    the row-kernel timing of the same executions is reported as a
-    ``row_path`` pseudo-phase, and the scenario's ``speedup_vs_seed``
+    the row-kernel timing of the same executions is recorded as a
+    ``row_path`` control run, and the scenario's ``speedup_vs_seed``
     entry is the batch-vs-row ratio (the row kernels *are* the seed
     behaviour for this scenario — no seed baseline file predates it).
 
@@ -33,12 +33,31 @@ on a fixed LSBench workload and records the medians in
     queries), with multi-tenant one-shot traffic fair-scheduled between
     window closes.  The same workload with sharing disabled — every
     subscription its own backing query — rides along as an
-    ``unshared_path`` pseudo-phase, and the scenario's
+    ``unshared_path`` control run, and the scenario's
     ``speedup_vs_seed`` entry is the unshared-vs-shared ratio (per-query
     evaluation *is* the seed behaviour; no baseline file predates the
     serving layer).  The deterministic simulated-clock figures
     (aggregate throughput, one-shot and close p50/p99/p999) are recorded
     under the scenario's ``simulated`` key.
+
+``adaptive``
+    Adaptive re-planning (DESIGN.md §4.10): a skewed two-stream join
+    whose hot predicate inverts a fraction of the way in, so the
+    registration-time plan starts every post-inversion close from the
+    heavy index.  The primary timing is an engine with
+    ``adaptive_replan`` on (the plan monitor swaps the join order once
+    the statistics prove the skew); the identical workload pinned to the
+    cold registration-time order rides along as a ``pinned_path``
+    control run, and ``speedup_vs_seed`` is the pinned-vs-adaptive ratio
+    (the cold-pinned plan *is* the seed behaviour — re-planning did not
+    exist before this scenario).  The swap evidence (replan count,
+    orders, simulated per-close cost of both runs) is recorded under
+    ``simulated``.
+
+Control runs are recorded per scenario under ``controls_s`` — wall
+timings of a same-run reference configuration, kept apart from
+``phases_s`` (which breaks the *primary* timing into disjoint phases) so
+the smoke gate compares like with like.
 
 Simulated results are guarded separately (``tests/core/test_determinism``):
 optimizations must move these numbers and *only* these numbers.
@@ -176,7 +195,7 @@ def run_distributed(duration_ms: int, rounds: int = 5):
     starts) executions; both kernel families charge bit-identical
     simulated time, so the only thing this scenario measures is how fast
     the Python gets through them.  The primary timing is the columnar
-    batch path; the row-kernel timing rides along as a pseudo-phase
+    batch path; the row-kernel timing rides along as a control run
     (``row_path``) so the report carries the batch-vs-row speedup.
     """
     from repro.sim.cost import LatencyMeter
@@ -215,7 +234,7 @@ def run_distributed(duration_ms: int, rounds: int = 5):
         batch.execute(plan, factory, LatencyMeter(), mode=mode)
     batch_elapsed = _timed(lambda: execute_all(batch))
     row_elapsed = _timed(lambda: execute_all(rows))
-    return batch_elapsed, {"row_path": row_elapsed}
+    return batch_elapsed, None, {"row_path": row_elapsed}
 
 
 #: Serving-scenario shape: enough subscriptions to exercise the paper's
@@ -292,7 +311,128 @@ def run_serving(duration_ms: int):
         "oneshot_latency_ms": serving.latency_percentiles("oneshot"),
         "close_latency_ms": serving.latency_percentiles("close"),
     }
-    return shared_elapsed, {"unshared_path": unshared_elapsed}, simulated
+    return (shared_elapsed, None, {"unshared_path": unshared_elapsed},
+            simulated)
+
+
+#: Adaptive-scenario shape: per-tick tuple rates of the heavy and light
+#: streams.  The skew inverts an eighth of the way in, so the cold
+#: registration-time plan spends most of the run exploring from the
+#: heavy index unless the monitor swaps it.
+ADAPTIVE_HEAVY_RATE = 128
+ADAPTIVE_LIGHT_RATE = 8
+#: Identical continuous queries registered per run: injection cost is
+#: paid once, so more copies weight the wall clock toward the per-close
+#: exploration the plan swap actually changes.
+ADAPTIVE_COPIES = 12
+
+ADAPTIVE_QUERY = """
+    REGISTER QUERY ADAPT{n} AS
+    SELECT ?U ?L
+    FROM A [RANGE 1000ms STEP 100ms]
+    FROM B [RANGE 1000ms STEP 100ms]
+    WHERE {{
+        GRAPH A {{ ?U pa ?P }}
+        GRAPH B {{ ?L pb ?P }}
+    }}
+"""
+
+
+def _skew_tuples(duration_ms: int):
+    """Two streams whose hot predicate inverts after the warm-up ticks.
+
+    Objects are mostly unique (join fan-outs ~1, so plan cost is
+    dominated by the index-start size) plus one shared hot id per tick
+    so every close still joins rows.
+    """
+    ticks = duration_ms // 100
+    invert_at = max(2, ticks // 8)
+    pa, pb = [], []
+    na = nb = 0
+    for tick in range(1, ticks + 1):
+        at = 100 * (tick - 1) + 10
+        if tick <= invert_at:
+            pa_rate, pb_rate = ADAPTIVE_LIGHT_RATE, ADAPTIVE_HEAVY_RATE
+        else:
+            pa_rate, pb_rate = ADAPTIVE_HEAVY_RATE, ADAPTIVE_LIGHT_RATE
+        pa.append(f"ax{tick} pa h{tick % 3} @{at}")
+        pb.append(f"bx{tick} pb h{tick % 3} @{at}")
+        # Offsets capped so a tick's tuples never spill past the next
+        # tick's base timestamp (timestamps must be non-decreasing).
+        for i in range(pa_rate):
+            pa.append(f"a{na} pa p{na} @{at + 1 + min(i, 88)}")
+            na += 1
+        for i in range(pb_rate):
+            pb.append(f"b{nb} pb q{nb} @{at + 1 + min(i, 88)}")
+            nb += 1
+    return "\n".join(pa), "\n".join(pb)
+
+
+def _adaptive_engine(duration_ms: int, adaptive: bool, fixed_order=None):
+    from repro.core.engine import EngineConfig, WukongSEngine
+    from repro.rdf.parser import parse_timed_tuples
+    from repro.streams.source import StreamSource
+    from repro.streams.stream import StreamSchema
+
+    config = EngineConfig(num_nodes=2, batch_interval_ms=100,
+                          adaptive_replan=adaptive, replan_check_closes=2)
+    engine = WukongSEngine(schemas=[StreamSchema("A"), StreamSchema("B")],
+                           config=config)
+    pa_text, pb_text = _skew_tuples(duration_ms)
+    for name, text in (("A", pa_text), ("B", pb_text)):
+        source = StreamSource(engine.schemas[name])
+        source.queue_tuples(parse_timed_tuples(text), 0, 100)
+        engine.attach_source(source)
+    handles = [engine.register_continuous(ADAPTIVE_QUERY.format(n=n),
+                                          fixed_order=fixed_order)
+               for n in range(ADAPTIVE_COPIES)]
+    return engine, handles
+
+
+def run_adaptive(duration_ms: int):
+    """Adaptive re-planning vs the cold-pinned plan on a skew inversion.
+
+    Both runs serve the identical stream; the adaptive engine's plan
+    monitor swaps the join order once the statistics prove the inverted
+    skew, while the control stays pinned to the registration-time order
+    (``fixed_order``, exactly how golden workloads opt out).  The wall
+    gap is the Python the swapped plan never executes; the simulated
+    per-close costs of both runs ride along as swap evidence.
+    """
+    runs = {}
+
+    def one_run(key, adaptive, fixed_order=None):
+        def run():
+            engine, query_handles = _adaptive_engine(duration_ms, adaptive,
+                                                     fixed_order)
+            engine.run_until(duration_ms)
+            runs[key] = query_handles
+        return run
+
+    adaptive_elapsed = _timed(one_run("adaptive", adaptive=True))
+    pinned_elapsed = _timed(one_run("pinned", adaptive=False,
+                                    fixed_order=[0, 1]))
+    handle = runs["adaptive"][0]
+    first = handle.replans[0] if handle.replans else None
+    adaptive_ns = sum(r.meter.ns
+                      for h in runs["adaptive"] for r in h.executions)
+    pinned_ns = sum(r.meter.ns
+                    for h in runs["pinned"] for r in h.executions)
+    simulated = {
+        "replans": sum(len(h.replans) for h in runs["adaptive"]),
+        "initial_order": list(first.old_order) if first
+        else list(handle.plan_order),
+        "final_order": list(handle.plan_order),
+        "swap_close": first.close_index if first else None,
+        "estimated_improvement": round(first.estimated_improvement, 2)
+        if first else None,
+        "closes": len(handle.executions),
+        "adaptive_close_ms_total": round(adaptive_ns / 1e6, 3),
+        "pinned_close_ms_total": round(pinned_ns / 1e6, 3),
+        "simulated_speedup": round(pinned_ns / adaptive_ns, 2)
+        if adaptive_ns else None,
+    }
+    return adaptive_elapsed, None, {"pinned_path": pinned_elapsed}, simulated
 
 
 SCENARIOS = {
@@ -301,31 +441,42 @@ SCENARIOS = {
     "oneshot": run_oneshot_phased,
     "distributed": run_distributed,
     "serving": run_serving,
+    "adaptive": run_adaptive,
 }
 
 #: Scenarios whose seed behaviour is a same-run control path, not a
-#: baseline file: pseudo-phase name -> the speedup is phase / median.
-SELF_BASELINED = {"distributed": "row_path", "serving": "unshared_path"}
+#: baseline file: control name -> the speedup is control / median.
+SELF_BASELINED = {"distributed": "row_path", "serving": "unshared_path",
+                  "adaptive": "pinned_path"}
 
 
 def measure(duration_ms: int, repeats: int) -> dict:
+    """Run every scenario ``repeats`` times; medians per scenario.
+
+    Runner protocol: a bare float is the wall seconds of the primary
+    configuration; tuple returns extend it positionally with ``phases``
+    (disjoint breakdown of the primary timing), ``controls``
+    (same-run reference configurations, e.g. the row kernels), and
+    ``simulated`` (deterministic simulated-clock figures — identical
+    across repeats, so the last copy is every copy).
+    """
     results = {}
     for name, runner in SCENARIOS.items():
         runs = []
         phase_runs = {}
+        control_runs = {}
         simulated = None
         for _ in range(repeats):
             run = runner(duration_ms)
             if isinstance(run, tuple):
-                if len(run) == 3:
-                    # (elapsed, phases, simulated): the simulated-clock
-                    # figures are deterministic across repeats, so the
-                    # last copy is every copy.
-                    run, phases, simulated = run
-                else:
-                    run, phases = run
-                for phase, value in phases.items():
+                run, phases, controls, sim = \
+                    run + (None,) * (4 - len(run))
+                for phase, value in (phases or {}).items():
                     phase_runs.setdefault(phase, []).append(value)
+                for control, value in (controls or {}).items():
+                    control_runs.setdefault(control, []).append(value)
+                if sim is not None:
+                    simulated = sim
             runs.append(run)
         results[name] = {
             "median_s": statistics.median(runs),
@@ -333,21 +484,30 @@ def measure(duration_ms: int, repeats: int) -> dict:
         }
         print(f"{name:12s} median {results[name]['median_s']:.3f}s "
               f"({', '.join(f'{r:.3f}' for r in runs)})", flush=True)
-        if phase_runs:
-            medians = {phase: statistics.median(values)
-                       for phase, values in phase_runs.items()}
-            results[name]["phases_s"] = medians
-            breakdown = ", ".join(f"{phase} {medians[phase]:.3f}s"
-                                  for phase in sorted(medians))
-            print(f"{'':12s} phases: {breakdown}", flush=True)
+        for key, samples in (("phases_s", phase_runs),
+                             ("controls_s", control_runs)):
+            if not samples:
+                continue
+            medians = {part: statistics.median(values)
+                       for part, values in samples.items()}
+            results[name][key] = medians
+            breakdown = ", ".join(f"{part} {medians[part]:.3f}s"
+                                  for part in sorted(medians))
+            print(f"{'':12s} {key.split('_')[0]}: {breakdown}", flush=True)
         if simulated is not None:
             results[name]["simulated"] = simulated
-            oneshot = simulated.get("oneshot_latency_ms", {})
-            print(f"{'':12s} simulated: "
-                  f"{simulated.get('throughput_per_s', 0):g} results/s, "
-                  f"oneshot p50 {oneshot.get('p50_ms', 0):.3f}ms "
-                  f"p99 {oneshot.get('p99_ms', 0):.3f}ms "
-                  f"p99.9 {oneshot.get('p99_9_ms', 0):.3f}ms", flush=True)
+            if "oneshot_latency_ms" in simulated:
+                oneshot = simulated["oneshot_latency_ms"]
+                print(f"{'':12s} simulated: "
+                      f"{simulated.get('throughput_per_s', 0):g} results/s, "
+                      f"oneshot p50 {oneshot.get('p50_ms', 0):.3f}ms "
+                      f"p99 {oneshot.get('p99_ms', 0):.3f}ms "
+                      f"p99.9 {oneshot.get('p99_9_ms', 0):.3f}ms",
+                      flush=True)
+            else:
+                pairs = ", ".join(f"{key}={value}"
+                                  for key, value in simulated.items())
+                print(f"{'':12s} simulated: {pairs}", flush=True)
     return results
 
 
@@ -454,10 +614,10 @@ def main(argv=None) -> int:
             }
     # Self-baselined scenarios predate no seed baseline: each one's
     # reference is the control path it replaced, timed in the same run.
-    for name, phase in SELF_BASELINED.items():
+    for name, control_name in SELF_BASELINED.items():
         result = results.get(name)
         if result and result["median_s"] > 0:
-            control = result.get("phases_s", {}).get(phase)
+            control = result.get("controls_s", {}).get(control_name)
             if control:
                 speedups[name] = control / result["median_s"]
     if speedups:

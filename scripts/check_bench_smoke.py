@@ -40,7 +40,16 @@ THRESHOLD = 0.6
 #: floor must catch is plan sharing silently disabled — every
 #: subscription running its own window closes — which collapses the
 #: ratio to ~1x, far below 0.6x of any committed figure.
-SCENARIO_THRESHOLDS = {"continuous": 0.7, "serving": 0.6}
+#: The adaptive scenario's speedup is likewise a same-run ratio
+#: (cold-pinned vs adaptive).  The failure it must catch is the plan
+#: monitor never swapping — statistics gone stale, hysteresis broken,
+#: swaps no longer landing between closes — which pins the ratio at
+#: ~1.0x.  The committed full-mode figure is ~2.6x; quick mode's
+#: shorter workload leaves fewer post-swap closes to win back (~2x
+#: typical, with noisy runs to ~1.6x), so its floor is 0.5x committed
+#: (~1.3x) — still clearly above the regressed ~1.0x regime.
+SCENARIO_THRESHOLDS = {"continuous": 0.7, "serving": 0.6,
+                       "adaptive": 0.5}
 
 
 def main(argv=None) -> int:

@@ -22,7 +22,12 @@ Attribution per activity:
 
 Window activities carry a ``query=`` label; one-shot activities do not,
 so the S one-shots are named by execution order (the driver runs them in
-a fixed order after the streaming workload).
+a fixed order after the streaming workload).  The window table also
+carries a ``replans`` column (the workload runs with adaptive
+re-planning enabled): how many times the plan monitor swapped each
+continuous query's ordering mid-run — the companion figure to the phase
+attribution when judging whether an optimization moved ``explore`` or
+the planner moved the plan.
 
 Usage::
 
@@ -62,9 +67,17 @@ PHASE_COLUMNS = ["dispatch", "plan", "explore", "fork-join", "project",
 
 
 def run_traced_workload(duration_ms: int):
-    """The check_trace workload: L-queries streaming, then S one-shots."""
+    """The check_trace workload: L-queries streaming, then S one-shots.
+
+    Runs with ``adaptive_replan`` on so the window table's ``replans``
+    column reports live numbers: how often the plan monitor actually
+    swapped each query's ordering (0 on a workload whose statistics
+    never justify a swap — that is the honest figure, not a dead
+    column).
+    """
     bench = LSBench(LSBenchConfig())
-    engine = build_wukongs(bench, num_nodes=2, duration_ms=duration_ms)
+    engine = build_wukongs(bench, num_nodes=2, duration_ms=duration_ms,
+                           adaptive_replan=True)
     engine.enable_observability()
     for name in L_QUERIES:
         engine.register_continuous(bench.continuous_query(name))
@@ -102,10 +115,16 @@ def _merge(rows: List[Dict[str, float]]) -> Dict[str, float]:
 
 
 def format_table(title: str, rows: Dict[str, Dict[str, float]],
-                 counts: Dict[str, int]) -> str:
-    """One attribution table (values in simulated microseconds)."""
+                 counts: Dict[str, int],
+                 extra_columns: Dict[str, Dict[str, int]] = None) -> str:
+    """One attribution table (values in simulated microseconds).
+
+    ``extra_columns`` appends plain (non-``_us``) integer columns, e.g.
+    the window table's per-query re-plan counts.
+    """
+    extra_columns = extra_columns or {}
     header = ["query", "runs", "total_us"] + \
-        [f"{name}_us" for name in PHASE_COLUMNS]
+        [f"{name}_us" for name in PHASE_COLUMNS] + list(extra_columns)
     lines = [title, "  ".join(f"{h:>12}" for h in header)]
     for query in sorted(rows):
         buckets = rows[query]
@@ -114,6 +133,8 @@ def format_table(title: str, rows: Dict[str, Dict[str, float]],
                  f"{buckets.get('total', 0.0) / 1e3 / runs:>12.3f}"]
         for name in PHASE_COLUMNS:
             cells.append(f"{buckets.get(name, 0.0) / 1e3 / runs:>12.3f}")
+        for name, values in extra_columns.items():
+            cells.append(f"{values.get(query, 0):>12}")
         lines.append("  ".join(cells))
     return "\n".join(lines)
 
@@ -167,6 +188,9 @@ def build_report(engine) -> dict:
         "oneshot_counts": oneshot_counts,
         "windows": window_rows,
         "window_counts": window_counts,
+        "window_replans": {name: len(handle.replans)
+                           for name, handle
+                           in engine.continuous.queries.items()},
         "activities": len(oneshots) + len(windows),
         "exact_paths": exact,
         "problems": problems,
@@ -216,7 +240,8 @@ def main(argv=None) -> int:
     print()
     print(format_table("continuous windows (simulated us per execution, "
                        "mean over runs)",
-                       report["windows"], report["window_counts"]))
+                       report["windows"], report["window_counts"],
+                       extra_columns={"replans": report["window_replans"]}))
     print()
     print(f"critical path exact for {report['exact_paths']}/"
           f"{report['activities']} activities")

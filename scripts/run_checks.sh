@@ -2,13 +2,15 @@
 # Tier-1 gate: the full test suite plus a quick wall-clock benchmark.
 #
 # The suite is split so the fast tier stays fast: the serving battery
-# (thousands of concurrent subscriptions; marked `serving`) and the
-# chaos suite (fault-injection equivalence; marked `chaos`) are the
-# slowest blocks and run as their own stages, followed by the columnar
-# differential suite (batch vs row window closes must be bit-identical,
-# including under a kill-during-close fault plan; DESIGN.md §4.9) and a
-# drift check of the golden files (scripts/regen_goldens.py --check).
-# A test marked both serving and chaos runs in the chaos stage only.
+# (thousands of concurrent subscriptions; marked `serving`), the
+# chaos suite (fault-injection equivalence; marked `chaos`) and the
+# adaptive re-planning suite (skew-inversion differentials; marked
+# `adaptive`) are the slowest blocks and run as their own stages,
+# followed by the columnar differential suite (batch vs row window
+# closes must be bit-identical, including under a kill-during-close
+# fault plan; DESIGN.md §4.9) and a drift check of the golden files
+# (scripts/regen_goldens.py --check).  A test marked both serving and
+# chaos runs in the chaos stage only.
 #
 # The obs stage exports a Chrome trace from a quick traced LSBench run
 # and validates it (schema, lossless round trip, and per-activity
@@ -27,13 +29,17 @@ set -e
 cd "$(dirname "$0")/.."
 
 echo "== tier-1 tests (fast tier) =="
-PYTHONPATH=src python -m pytest -x -q -m "not chaos and not serving"
+PYTHONPATH=src python -m pytest -x -q \
+    -m "not chaos and not serving and not adaptive"
 
 echo "== serving battery (sharing, admission, fairness) =="
 PYTHONPATH=src python -m pytest -x -q -m "serving and not chaos"
 
 echo "== chaos suite (fault injection + recovery equivalence) =="
 PYTHONPATH=src python -m pytest -x -q -m chaos
+
+echo "== adaptive re-planning suite (swap differentials + hysteresis) =="
+PYTHONPATH=src python -m pytest -x -q -m adaptive
 
 echo "== columnar differential (batch vs row window closes) =="
 PYTHONPATH=src python -m pytest -x -q \

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.access import WindowAccess
 from repro.core.coordinator import Coordinator
@@ -24,7 +24,7 @@ from repro.rdf.string_server import StringServer
 from repro.sim.cluster import Cluster
 from repro.sim.cost import LatencyMeter
 from repro.sparql.ast import Query
-from repro.sparql.planner import ExecutionPlan, plan_query
+from repro.sparql.planner import ExecutionPlan, plan_order, plan_query
 from repro.store.distributed import DistributedStore, PersistentAccess
 from repro.store.executor import ExecutionResult, GraphExplorer
 from repro.streams.stream import StreamSchema
@@ -76,6 +76,20 @@ class RegisteredQuery:
     planners: Dict[str, WindowPlanner]
     step_ms: int
     next_close_ms: int
+    #: The active plan's pattern ordering (a permutation of pattern
+    #: indices) — the only statistics-dependent part of the plan, and the
+    #: second half of the continuous plan-cache key.
+    plan_order: Tuple[int, ...] = ()
+    #: Registered with an explicit ``fixed_order``: the adaptive
+    #: re-planner (``repro.core.replan``) never touches pinned queries.
+    #: Golden workloads pin their orders so re-planning stays opt-in.
+    pinned: bool = False
+    #: Applied plan swaps, in order (``repro.core.replan.ReplanEvent``).
+    replans: List[object] = field(default_factory=list)
+    #: Closes already seen by the plan monitor at its last check / swap
+    #: (the monitor's per-query cadence and cool-down state).
+    closes_at_last_check: int = 0
+    closes_at_last_swap: Optional[int] = None
     executions: List[ExecutionRecord] = field(default_factory=list)
     #: ``(cache key, factory)`` of the last access factory built; reused
     #: while the stable SN and every window's batch range stand still.
@@ -118,6 +132,14 @@ class ContinuousEngine:
                                       use_batch=use_batch)
         self.queries: Dict[str, RegisteredQuery] = {}
         self._next_home = 0
+        #: ``(normalized AST key, ordering) -> ExecutionPlan``, bounded
+        #: FIFO.  The ordering is part of the key, so a re-plan can never
+        #: serve a stale compiled executor: a new ordering is a new plan
+        #: object, and the executor's compiled form is cached *on* the
+        #: plan (``plan._compiled``), invalidating both together.
+        self._plan_cache: Dict[tuple, ExecutionPlan] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         #: Observability hooks (attached by ``engine.enable_observability``).
         self.tracer = None
         self.metrics = None
@@ -130,7 +152,9 @@ class ContinuousEngine:
     # -- registration -------------------------------------------------------
     def register(self, query: Query, now_ms: int,
                  home_node: Optional[int] = None,
-                 name: Optional[str] = None) -> RegisteredQuery:
+                 name: Optional[str] = None,
+                 fixed_order: Optional[Sequence[int]] = None
+                 ) -> RegisteredQuery:
         """Register a continuous query; returns its handle.
 
         The home node defaults to round-robin placement across the cluster
@@ -139,6 +163,11 @@ class ContinuousEngine:
         layer uses this to register many client queries that all carry the
         same ``REGISTER QUERY`` name (or share one backing registration)
         without colliding in the engine's namespace.
+
+        ``fixed_order`` (a permutation of pattern indices) *pins* the
+        query to that exact pattern ordering: the adaptive re-planner
+        skips pinned queries forever.  Golden workloads pin their
+        registration-time orders so adaptive engines replay bit-identically.
         """
         if not query.is_continuous:
             raise RegistrationError(
@@ -150,7 +179,14 @@ class ContinuousEngine:
         for stream in query.windows:
             if stream not in self.schemas:
                 raise RegistrationError(f"unknown stream: {stream}")
-        plan = plan_query(query)
+        if fixed_order is not None:
+            order = tuple(fixed_order)
+        else:
+            # Registration-time plan: the purely positional greedy order
+            # (no statistics — registration typically happens against a
+            # cold store; the plan monitor re-plans once the store warms).
+            order = tuple(plan_order(query.patterns))
+        plan = self._plan_for(query, order)
         if home_node is None:
             # Locality-aware placement: a constant-start (selective) query
             # runs on the node that owns its start vertex, so its window
@@ -170,7 +206,8 @@ class ContinuousEngine:
         registered = RegisteredQuery(
             name=name, query=query, plan=plan,
             home_node=home_node, planners=planners, step_ms=step_ms,
-            next_close_ms=now_ms + step_ms)
+            next_close_ms=now_ms + step_ms,
+            plan_order=order, pinned=fixed_order is not None)
         # Locality-aware partitioning: replicate the indexes of the streams
         # this query consumes onto its home node.
         for stream in query.windows:
@@ -190,6 +227,49 @@ class ContinuousEngine:
             return None
         vid = self.strings.lookup_entity(term)
         return None if vid is None else self.cluster.owner_of(vid)
+
+    #: Bounded continuous plan-cache size (FIFO, like the one-shot cache).
+    PLAN_CACHE_CAPACITY = 128
+
+    def _plan_for(self, query: Query, order: Tuple[int, ...]
+                  ) -> ExecutionPlan:
+        """The execution plan of ``query`` under ``order``, cached.
+
+        Keyed ``(normalized AST, ordering)``: equal-AST queries under the
+        same ordering share one plan object (and with it the executor's
+        compiled form), while a re-plan to a new ordering always misses —
+        building a fresh plan whose compiled executor is compiled from the
+        new step sequence, never a stale one.
+        """
+        key = (query.cache_key(), order)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            return plan
+        self.plan_cache_misses += 1
+        plan = plan_query(query, fixed_order=order)
+        cache = self._plan_cache
+        if len(cache) >= self.PLAN_CACHE_CAPACITY:
+            del cache[next(iter(cache))]
+        cache[key] = plan
+        return plan
+
+    def swap_plan(self, registered: RegisteredQuery,
+                  order: Sequence[int]) -> ExecutionPlan:
+        """Swap ``registered`` onto the plan for ``order`` (a permutation
+        of its pattern indices).
+
+        Called by the plan monitor *between* window closes (after a
+        :meth:`poll`), so every close runs start-to-finish under exactly
+        one plan.  The access factory and columnar window views are
+        plan-independent (keyed by stable SN and batch ranges) and carry
+        over untouched; only the plan reference — and with it the compiled
+        executor — changes.
+        """
+        new_order = tuple(order)
+        registered.plan = self._plan_for(registered.query, new_order)
+        registered.plan_order = new_order
+        return registered.plan
 
     def unregister(self, name: str) -> None:
         registered = self.queries.pop(name, None)

@@ -76,6 +76,26 @@ class EngineConfig:
     #: the row-at-a-time kernels.  Wall-clock-only — simulated charges
     #: are bit-identical either way (tests/store/test_batch_distributed).
     columnar_batch: bool = True
+    #: Adaptive re-planning of registered continuous queries from live
+    #: predicate statistics (``repro.core.replan.PlanMonitor``).  Off by
+    #: default: a plan swap deliberately changes which simulated work
+    #: each close performs, so golden/deterministic workloads must opt in
+    #: (or pin their orders via ``register_continuous(fixed_order=...)``).
+    adaptive_replan: bool = False
+    #: Re-plan check cadence (executed closes between checks per query),
+    #: hysteresis threshold (estimated old/new cost ratio required to
+    #: swap) and swap cool-down (closes between swaps per query).
+    replan_check_closes: int = 8
+    replan_hysteresis: float = 1.5
+    replan_cooldown_closes: int = 24
+    #: Adaptive adjacency-cache sizing from hit/eviction telemetry
+    #: (``repro.core.replan.AdjacencyBudget``): grows the per-shard
+    #: capacity when the working set thrashes, shrinks it when idle.
+    #: ``adjacency_cache_capacity`` above becomes the starting point
+    #: rather than a fixed budget.  Wall-clock-only.
+    adjacency_cache_adaptive: bool = False
+    adjacency_cache_min: int = 1 << 10
+    adjacency_cache_max: int = 1 << 20
     cost: CostModel = field(default_factory=CostModel)
     memory: MemoryModel = field(default_factory=MemoryModel)
 
@@ -170,6 +190,25 @@ class WukongSEngine:
             num_nodes=cfg.num_nodes) \
             if cfg.fault_tolerance else None
 
+        #: Adaptive controllers (``repro.core.replan``); None unless the
+        #: matching config knob opted in.  Imported at runtime: the stats
+        #: module imports this one for type access.
+        self.plan_monitor = None
+        self.adjacency_budget = None
+        if cfg.adaptive_replan:
+            from repro.core.replan import PlanMonitor
+            from repro.core.stats import PredicateStatistics
+            self.plan_monitor = PlanMonitor(
+                self.continuous, PredicateStatistics(self.store),
+                check_every_closes=cfg.replan_check_closes,
+                hysteresis=cfg.replan_hysteresis,
+                cooldown_closes=cfg.replan_cooldown_closes)
+        if cfg.adjacency_cache_adaptive:
+            from repro.core.replan import AdjacencyBudget
+            self.adjacency_budget = AdjacencyBudget(
+                self.store, min_capacity=cfg.adjacency_cache_min,
+                max_capacity=cfg.adjacency_cache_max)
+
         self.injection_records: List[InjectionRecord] = []
         self._initial_triples: List[Triple] = []
         self._ticks = 0
@@ -215,6 +254,11 @@ class WukongSEngine:
         self.oneshot_engine.tracer = tracer
         self.oneshot_engine.metrics = metrics
         self.oneshot_engine.explorer.tracer = tracer
+        if self.plan_monitor is not None:
+            self.plan_monitor.tracer = tracer
+            self.plan_monitor.metrics = metrics
+        if self.adjacency_budget is not None:
+            self.adjacency_budget.metrics = metrics
         return tracer, metrics
 
     # -- stream wiring -----------------------------------------------------
@@ -266,16 +310,21 @@ class WukongSEngine:
     # -- queries -----------------------------------------------------------------
     def register_continuous(self, query: Union[str, Query],
                             home_node: Optional[int] = None,
-                            name: Optional[str] = None) -> RegisteredQuery:
+                            name: Optional[str] = None,
+                            fixed_order: Optional[List[int]] = None
+                            ) -> RegisteredQuery:
         """Register a C-SPARQL continuous query (text or parsed).
 
         ``name`` overrides the registration name (serving-layer backing
         registrations pick synthetic names so identically named client
-        queries never collide).
+        queries never collide).  ``fixed_order`` pins the pattern
+        ordering, exempting the query from adaptive re-planning (golden
+        workloads pin their orders; see ``repro.core.replan``).
         """
         parsed = parse_query(query) if isinstance(query, str) else query
         return self.continuous.register(parsed, self.clock.now_ms,
-                                        home_node=home_node, name=name)
+                                        home_node=home_node, name=name,
+                                        fixed_order=fixed_order)
 
     def oneshot(self, query: Union[str, Query],
                 home_node: Optional[int] = None) -> OneShotRecord:
@@ -404,6 +453,13 @@ class WukongSEngine:
                 pause_ns = self.checkpoints.last_checkpoint_pause_ms * 1e6
                 for record in records:
                     record.meter.charge(pause_ns, category="checkpoint")
+            # Adaptive controllers run *after* the poll, so a plan swap
+            # always lands between window closes (never mid-close) and
+            # the next due close runs the new plan from its first step.
+            if self.plan_monitor is not None:
+                self.plan_monitor.on_tick(now)
+            if self.adjacency_budget is not None:
+                self.adjacency_budget.on_tick()
         else:
             self.continuous.note_gaps(now)
             records = []

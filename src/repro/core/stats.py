@@ -22,6 +22,52 @@ from repro.rdf.ids import DIR_IN, DIR_OUT
 from repro.store.distributed import DistributedStore
 
 
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """A frozen, point-in-time capture of :class:`PredicateStatistics`.
+
+    The adaptive re-planner (``repro.core.replan``) must make its
+    keep-or-swap decision and compute both plans' cost estimates from *one*
+    consistent set of numbers — reading the live view twice could interleave
+    with injection and compare plans under different statistics.  A snapshot
+    captures every estimate a given pattern set can ask for (predicate
+    means, index sizes, and the specific degrees of the constants that
+    actually appear) into plain dicts, plus the ``epoch`` the capture was
+    taken at, so a re-plan decision is a pure function of
+    ``(patterns, epoch)`` and reproducible after the fact.
+
+    Exposes the same five accessors as the live view, so it can be passed
+    anywhere a statistics provider is accepted (``plan_order``,
+    ``estimate_plan_cost``).
+    """
+
+    #: Monotone store-growth counter at capture time (see
+    #: :meth:`PredicateStatistics.epoch`).
+    epoch: int
+    out_degrees: Dict[str, float]
+    in_degrees: Dict[str, float]
+    index_sizes: Dict[str, float]
+    subject_degrees: Dict[Tuple[str, str], float]
+    object_degrees: Dict[Tuple[str, str], float]
+
+    def out_degree(self, predicate: str) -> float:
+        return self.out_degrees.get(predicate, 0.0)
+
+    def in_degree(self, predicate: str) -> float:
+        return self.in_degrees.get(predicate, 0.0)
+
+    def index_size(self, predicate: str) -> float:
+        return self.index_sizes.get(predicate, 0.0)
+
+    def subject_degree(self, predicate: str, term: str) -> float:
+        return self.subject_degrees.get((predicate, term),
+                                        self.out_degree(predicate))
+
+    def object_degree(self, predicate: str, term: str) -> float:
+        return self.object_degrees.get((predicate, term),
+                                       self.in_degree(predicate))
+
+
 class PredicateStatistics:
     """Selectivity estimates from the store's cardinality counters.
 
@@ -94,6 +140,47 @@ class PredicateStatistics:
         return self._specific_degree(predicate, term, DIR_IN,
                                      self.in_degree)
 
+    def epoch(self) -> int:
+        """A monotone counter of store growth: total adjacency entries
+        inserted across every shard's per-predicate buckets.
+
+        Inserts only ever increment the underlying counters, so two calls
+        returning the same epoch saw the *same* statistics — which lets the
+        adaptive re-planner stamp each decision with the epoch it was made
+        under and lets tests assert that equal epochs imply equal
+        snapshots.  Cheap: the sum walks per-(predicate, direction) buckets,
+        not entries.
+        """
+        return sum(sum(shard._pred_entries.values())
+                   for shard in self.store.shards)
+
+    def snapshot(self, patterns) -> StatsSnapshot:
+        """Freeze every estimate ``patterns`` can ask for (see
+        :class:`StatsSnapshot`).  Constants are captured with their
+        specific (sketched) degrees under the predicate they appear with."""
+        from repro.sparql.ast import is_variable
+        out_degrees: Dict[str, float] = {}
+        in_degrees: Dict[str, float] = {}
+        index_sizes: Dict[str, float] = {}
+        subject_degrees: Dict[Tuple[str, str], float] = {}
+        object_degrees: Dict[Tuple[str, str], float] = {}
+        for pattern in patterns:
+            predicate = pattern.predicate
+            if predicate not in out_degrees:
+                out_degrees[predicate] = self.out_degree(predicate)
+                in_degrees[predicate] = self.in_degree(predicate)
+                index_sizes[predicate] = self.index_size(predicate)
+            if not is_variable(pattern.subject):
+                subject_degrees[(predicate, pattern.subject)] = \
+                    self.subject_degree(predicate, pattern.subject)
+            if not is_variable(pattern.object):
+                object_degrees[(predicate, pattern.object)] = \
+                    self.object_degree(predicate, pattern.object)
+        return StatsSnapshot(
+            epoch=self.epoch(), out_degrees=out_degrees,
+            in_degrees=in_degrees, index_sizes=index_sizes,
+            subject_degrees=subject_degrees, object_degrees=object_degrees)
+
 
 @dataclass
 class StreamStats:
@@ -119,6 +206,8 @@ class QueryStats:
     median_ms: Optional[float]
     p99_ms: Optional[float]
     last_rows: Optional[int]
+    #: Adaptive plan swaps applied so far (``repro.core.replan``).
+    replans: int = 0
 
 
 @dataclass
@@ -248,6 +337,8 @@ class EngineStats:
                 stats = (f"{query.executions} runs, p50 "
                          f"{query.median_ms:.3f} ms, p99 "
                          f"{query.p99_ms:.3f} ms, last {query.last_rows} rows")
+            if query.replans:
+                stats += f", {query.replans} replans"
             lines.append(f"  query {query.name} @node{query.home_node}: "
                          f"{stats}")
         return "\n".join(lines)
@@ -314,6 +405,7 @@ def collect_stats(engine: WukongSEngine) -> EngineStats:
             p99_ms=percentile(latencies, 99) if latencies else None,
             last_rows=(len(handle.executions[-1].result.rows)
                        if handle.executions else None),
+            replans=len(handle.replans),
         ))
     return EngineStats(
         clock_ms=engine.clock.now_ms,

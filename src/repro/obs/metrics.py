@@ -166,11 +166,36 @@ def collect_metrics(engine, registry: Optional[MetricsRegistry] = None,
     registry.counter("plan_cache_misses").value = oneshot.plan_cache_misses
     registry.counter("parse_cache_hits").value = engine.parse_cache_hits
     registry.counter("parse_cache_misses").value = engine.parse_cache_misses
+    # Continuous plan cache (re-plans miss into it by design: a new
+    # ordering is a new key, hence a fresh compiled executor).
+    continuous = engine.continuous
+    registry.counter("continuous_plan_cache_hits").value = \
+        continuous.plan_cache_hits
+    registry.counter("continuous_plan_cache_misses").value = \
+        continuous.plan_cache_misses
+    # Adaptive re-planning decisions (repro.core.replan); the per-query
+    # planner_replans / planner_replan_skipped_* counters and the
+    # estimated-vs-actual cost gauges are pushed by the monitor itself
+    # when a registry is attached.
+    monitor = getattr(engine, "plan_monitor", None)
+    if monitor is not None:
+        registry.counter("planner_replan_checks").value = monitor.checks
+        registry.counter("planner_replans_total").value = monitor.replans
+        registry.counter("planner_replans_skipped_hysteresis_total").value = \
+            monitor.skipped_hysteresis
+        registry.counter("planner_replans_skipped_cooldown_total").value = \
+            monitor.skipped_cooldown
+    budget = getattr(engine, "adjacency_budget", None)
+    if budget is not None:
+        registry.counter("adjacency_budget_grows").value = budget.grows
+        registry.counter("adjacency_budget_shrinks").value = budget.shrinks
     # Adjacency-segment caches, per shard and total.
     hits = misses = evictions = entries = 0
     for node_id, shard in enumerate(engine.store.shards):
         registry.gauge("adjacency_cache_entries", node=node_id).set(
             len(shard._adjacency))
+        registry.gauge("adjacency_cache_capacity", node=node_id).set(
+            shard.adjacency_capacity)
         hits += shard.adjacency_hits
         misses += shard.adjacency_misses
         evictions += shard.adjacency_evictions

@@ -16,6 +16,13 @@ each subscriber's private evaluation would produce
 Each entry counts its subscribers; the backing registration is created on
 the first subscriber and unregistered (dropping its stream-index
 interest) when the last one leaves.
+
+Adaptive re-planning (``repro.core.replan``) is transparent to sharing:
+the sharing key is the *normalized AST*, never the plan, and a plan swap
+mutates the backing :class:`~repro.core.continuous.RegisteredQuery` in
+place — every subscriber's delivery cursor keeps pointing at the same
+handle, so a re-planned backing query keeps serving all its subscribers
+without re-registration (``tests/serving/test_replan_serving.py``).
 """
 
 from __future__ import annotations
@@ -119,3 +126,8 @@ class SharedQueryRegistry:
         """Subscribers per backing registration (1.0 = no sharing)."""
         shared = self.num_shared
         return self.num_subscribers / shared if shared else 0.0
+
+    @property
+    def total_replans(self) -> int:
+        """Adaptive plan swaps applied across live backing queries."""
+        return sum(len(e.handle.replans) for e in self._entries.values())

@@ -85,6 +85,10 @@ class ServingStats:
     oneshots_rejected: int
     registrations_rejected: int
     backlog: int
+    #: Adaptive plan swaps applied across all backing queries
+    #: (``repro.core.replan``); re-planning is transparent to
+    #: subscribers — the sharing key is the normalized AST, not the plan.
+    replans: int = 0
     tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
@@ -200,6 +204,20 @@ class ServingLayer:
         subscription.cancelled = True
         self.registry.release(subscription.entry, subscription)
         self.tenant(subscription.tenant).subscriptions -= 1
+
+    def disconnect_tenant(self, tenant: str) -> int:
+        """A tenant's session ends mid-flight: cancel its subscriptions
+        and discard its queued one-shots (removing its scheduler ring
+        slot without disturbing the rotation; see
+        :meth:`FairScheduler.remove_tenant`).  Returns the number of
+        queued one-shots discarded.  The tenant's latency history stays
+        for reporting; a later submission re-enters normally.
+        """
+        for entry in list(self.registry.entries()):
+            for subscription in list(entry.subscribers):
+                if subscription.tenant == tenant:
+                    self.unregister(subscription)
+        return self.scheduler.remove_tenant(tenant)
 
     # -- one-shot traffic --------------------------------------------------
     def submit(self, tenant: str, text: str,
@@ -326,6 +344,7 @@ class ServingLayer:
             registrations_rejected=sum(t.registrations_rejected
                                        for t in self.tenants.values()),
             backlog=self.scheduler.backlog,
+            replans=self.registry.total_replans,
             tenants=tenants)
 
     def latency_percentiles(self, kind: str = "oneshot"

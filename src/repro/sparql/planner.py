@@ -171,6 +171,35 @@ def plan_order(patterns: Sequence[TriplePattern], stats=None,
     return order
 
 
+def estimate_plan_cost(patterns: Sequence[TriplePattern],
+                       ordering: Sequence[int], stats,
+                       prebound: Set[str] = frozenset()) -> float:
+    """Estimated exploration cost of running ``patterns`` in ``ordering``.
+
+    A uniform row-count model over the same per-step fan-out estimates the
+    greedy ordering uses (:func:`_estimate`): walking the order, each step
+    visits every current binding row once and produces ``fanout`` successor
+    rows per input row, so it charges ``rows * (1 + fanout)`` and multiplies
+    the row estimate by ``fanout``.  An index start enumerates the whole
+    predicate index (fanout = index size).  The absolute number is
+    meaningless; only *ratios between orderings of the same patterns under
+    the same statistics* are — which is exactly what the adaptive re-planner
+    (``repro.core.replan``) compares against its hysteresis threshold.
+    Deterministic: a pure function of the statistics provider's counters.
+    """
+    rows = 1.0
+    cost = 0.0
+    bound = set(prebound)
+    for idx in ordering:
+        pattern = patterns[idx]
+        kind = _classify(pattern, bound)
+        fanout = _estimate(pattern, kind, stats)
+        cost += rows * (1.0 + fanout)
+        rows *= fanout
+        bound.update(pattern.variables())
+    return cost
+
+
 def _steps_in_order(patterns: Sequence[TriplePattern],
                     ordering: Sequence[int],
                     prebound: Set[str] = frozenset()) -> List[PlannedStep]:

@@ -521,6 +521,32 @@ class ShardStore:
         cache[key] = (max_sn, visible, total)
         self._adjacency_weight += weight
 
+    def set_adjacency_capacity(self, capacity: int) -> None:
+        """Resize the cache budget at runtime (adaptive sizing; see
+        ``repro.core.replan.AdjacencyBudget``).
+
+        Shrinking below the current occupancy evicts from the front of
+        the insertion-ordered dict — the same victim order the steady
+        state uses — counting each drop as an eviction.  Charge-free
+        either way: capacity only bounds a wall-clock cache.
+        """
+        if capacity < 1:
+            raise StoreError(f"adjacency capacity must be >= 1: {capacity}")
+        self.adjacency_capacity = capacity
+        cache = self._adjacency
+        if self.adjacency_weighted:
+            # Like cache_adjacency, a single segment heavier than the
+            # whole budget may stay cached alone.
+            while len(cache) > 1 and self._adjacency_weight > capacity:
+                dropped = cache.pop(next(iter(cache)))
+                self._adjacency_weight -= 1 + len(dropped[1])
+                self.adjacency_evictions += 1
+        else:
+            while len(cache) > capacity:
+                dropped = cache.pop(next(iter(cache)))
+                self._adjacency_weight -= 1 + len(dropped[1])
+                self.adjacency_evictions += 1
+
     # -- predicate cardinality statistics --------------------------------
     def predicate_entries(self, eid: int, d: int) -> int:
         """Total adjacency entries inserted under ``(eid, d)`` keys."""

@@ -1,0 +1,105 @@
+"""FairScheduler edge cases: a tenant unregisters mid-rotation.
+
+The rotation cursor is an index into the ring list, so removing a ring
+slot must compensate: the next drain may neither skip the tenant whose
+turn it was, nor touch the departed tenant's queue.  These tests drive
+``remove_tenant`` at every cursor position.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.scheduler import FairScheduler, OneshotRequest
+
+pytestmark = pytest.mark.serving
+
+
+def _request(tenant, n=0):
+    return OneshotRequest(tenant=tenant, text=f"q{n}", arrival_ms=0)
+
+
+def _scheduler(tenants, depth=3, slots=1):
+    scheduler = FairScheduler(slots_per_tick=slots)
+    for n in range(depth):
+        for tenant in tenants:
+            scheduler.enqueue(_request(tenant, n))
+    return scheduler
+
+
+def _drain_one(scheduler):
+    """Serve exactly one request; returns the tenant it went to."""
+    served = scheduler.drain(0, lambda request, now: request.tenant)
+    assert len(served) == 1
+    return served[0]
+
+
+def test_removing_tenant_at_cursor_keeps_successor_turn():
+    scheduler = _scheduler(["A", "B", "C"])
+    assert _drain_one(scheduler) == "A"  # cursor now rests on B
+    discarded = scheduler.remove_tenant("B")
+    assert discarded == 3
+    # B's turn passes to its successor; C must not be skipped.
+    assert _drain_one(scheduler) == "C"
+    assert _drain_one(scheduler) == "A"
+    assert scheduler.tenants == ["A", "C"]
+
+
+def test_removing_tenant_before_cursor_shifts_back():
+    scheduler = _scheduler(["A", "B", "C"])
+    assert _drain_one(scheduler) == "A"
+    assert _drain_one(scheduler) == "B"  # cursor now rests on C
+    scheduler.remove_tenant("A")
+    # C's turn is still next — the cursor shifted down with the ring.
+    assert _drain_one(scheduler) == "C"
+    assert _drain_one(scheduler) == "B"
+
+
+def test_removing_last_ring_slot_wraps_cursor():
+    scheduler = _scheduler(["A", "B", "C"])
+    assert _drain_one(scheduler) == "A"
+    assert _drain_one(scheduler) == "B"  # cursor on C (last slot)
+    scheduler.remove_tenant("C")
+    # C's turn wraps to the ring head.
+    assert _drain_one(scheduler) == "A"
+    assert _drain_one(scheduler) == "B"
+
+
+def test_removed_queue_never_dereferenced():
+    scheduler = _scheduler(["A", "B", "C"], depth=2)
+    assert _drain_one(scheduler) == "A"
+    scheduler.remove_tenant("B")
+    # A full drain visits every surviving slot without KeyError and
+    # without serving the departed tenant.
+    scheduler.slots_per_tick = 8
+    served = scheduler.drain(0, lambda request, now: request.tenant)
+    assert served == ["C", "A", "C"]
+    assert scheduler.backlog == 0
+
+
+def test_removing_only_tenant_resets_ring():
+    scheduler = _scheduler(["A"], depth=2)
+    assert scheduler.remove_tenant("A") == 2
+    assert scheduler.tenants == []
+    assert scheduler.drain(0, lambda request, now: request.tenant) == []
+    # Re-submission re-enters cleanly at the ring head.
+    scheduler.enqueue(_request("A"))
+    assert _drain_one(scheduler) == "A"
+
+
+def test_removing_unknown_tenant_is_a_noop():
+    scheduler = _scheduler(["A", "B"])
+    assert scheduler.remove_tenant("Z") == 0
+    assert scheduler.tenants == ["A", "B"]
+    assert _drain_one(scheduler) == "A"
+
+
+def test_departed_tenant_can_resubscribe_at_ring_back():
+    scheduler = _scheduler(["A", "B", "C"])
+    assert _drain_one(scheduler) == "A"
+    scheduler.remove_tenant("A")
+    scheduler.enqueue(_request("A", 9))
+    # A rejoined at the back: the rotation continues B, C, then A.
+    assert _drain_one(scheduler) == "B"
+    assert _drain_one(scheduler) == "C"
+    assert _drain_one(scheduler) == "A"

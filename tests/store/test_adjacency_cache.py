@@ -335,3 +335,136 @@ def test_simulated_charges_identical_across_policies():
         return meter.ns
 
     assert total_ns("lru") == total_ns("fifo")
+
+
+# -- runtime resizing (repro.core.replan.AdjacencyBudget) ------------------
+
+def _skewed_store(capacity, num_keys=6, **kwargs):
+    cluster = Cluster(num_nodes=1)
+    strings = StringServer()
+    store = DistributedStore(cluster, strings, adjacency_capacity=capacity,
+                             **kwargs)
+    lines = "\n".join(f"k{i} p x ." for i in range(num_keys))
+    store.load(parse_triples(lines))
+    p = strings.predicate_id("p")
+    vids = [strings.entity_id(f"k{i}") for i in range(num_keys)]
+
+    def probe(index):
+        store.neighbors_from(0, vids[index], p, DIR_OUT, LatencyMeter())
+
+    return store, probe
+
+
+def test_set_capacity_shrink_evicts_from_front_and_counts():
+    store, probe = _skewed_store(capacity=4)
+    for index in range(3):
+        probe(index)
+    shard = store.shards[0]
+    assert len(shard._adjacency) == 3
+    evictions_before = shard.adjacency_evictions
+    shard.set_adjacency_capacity(1)
+    # Front of the insertion-ordered dict goes first — the same victim
+    # order steady-state eviction uses — and every drop is counted.
+    assert len(shard._adjacency) == 1
+    assert shard.adjacency_evictions == evictions_before + 2
+    probe(2)  # the newest insert (k2) must be the survivor
+    assert shard.adjacency_hits >= 1
+
+
+def test_set_capacity_rejects_nonpositive():
+    import pytest
+    from repro.errors import StoreError
+    store, _ = _skewed_store(capacity=4)
+    with pytest.raises(StoreError):
+        store.shards[0].set_adjacency_capacity(0)
+
+
+def test_set_capacity_weighted_over_budget_entry_survives_alone():
+    store, probe = _skewed_store(capacity=64, adjacency_weighted=True)
+    probe(0)
+    shard = store.shards[0]
+    assert len(shard._adjacency) == 1
+    # Shrinking below the lone segment's weight keeps it cached alone,
+    # exactly like cache_adjacency admits an over-budget segment.
+    shard.set_adjacency_capacity(1)
+    assert len(shard._adjacency) == 1
+
+
+def test_budget_grows_on_evictions_up_to_max():
+    from repro.core.replan import AdjacencyBudget
+
+    store, probe = _skewed_store(capacity=2)
+    budget = AdjacencyBudget(store, min_capacity=2, max_capacity=8,
+                             every_ticks=1)
+    # Each round sweeps more distinct keys than the cache holds, so the
+    # eviction counter moves every window until the working set fits.
+    for expected in (4, 8, 8):
+        for index in range(6):
+            probe(index)
+        budget.on_tick()
+        assert store.shards[0].adjacency_capacity == expected
+    assert budget.grows == 2
+
+
+def test_budget_shrinks_idle_capacity_and_respects_min():
+    from repro.core.replan import AdjacencyBudget
+
+    store, probe = _skewed_store(capacity=16)
+    budget = AdjacencyBudget(store, min_capacity=2, max_capacity=64,
+                             every_ticks=1)
+    probe(0)
+    probe(1)
+    # Two resident keys, hit traffic, no evictions: 16 -> 8 -> 4, then
+    # occupancy * 4 > capacity stops the payback above min_capacity.
+    for expected in (8, 4, 4):
+        probe(0)
+        probe(1)
+        budget.on_tick()
+        assert store.shards[0].adjacency_capacity == expected
+    assert budget.shrinks == 2
+    assert len(store.shards[0]._adjacency) == 2
+
+
+def test_budget_leaves_idle_shards_alone():
+    from repro.core.replan import AdjacencyBudget
+
+    store, probe = _skewed_store(capacity=16)
+    budget = AdjacencyBudget(store, min_capacity=2, max_capacity=64,
+                             every_ticks=1)
+    probe(0)
+    probe(1)
+    budget.on_tick()  # traffic window: may resize
+    resized = store.shards[0].adjacency_capacity
+    budget.on_tick()  # no traffic since: no evidence, no resize
+    assert store.shards[0].adjacency_capacity == resized
+
+
+def test_budget_resizing_never_changes_simulated_charges():
+    """Adaptive capacity is a wall-clock actuator: per-probe charges on a
+    resizing store equal a fixed-capacity store's, probe for probe."""
+    from repro.core.replan import AdjacencyBudget
+
+    probes = [0, 1, 2, 3, 4, 5, 0, 1, 0, 2, 5, 4, 0, 0, 1, 3]
+
+    def charge_sequence(adaptive):
+        cluster = Cluster(num_nodes=1)
+        strings = StringServer()
+        store = DistributedStore(cluster, strings, adjacency_capacity=2)
+        lines = "\n".join(f"k{i} p x .\nk{i} p y ." for i in range(6))
+        store.load(parse_triples(lines))
+        p = strings.predicate_id("p")
+        vids = [strings.entity_id(f"k{i}") for i in range(6)]
+        budget = AdjacencyBudget(store, min_capacity=2, max_capacity=32,
+                                 every_ticks=1) if adaptive else None
+        charges = []
+        for index in probes:
+            meter = LatencyMeter()
+            store.neighbors_from(0, vids[index], p, DIR_OUT, meter)
+            charges.append(meter.ns)
+            if budget is not None:
+                budget.on_tick()
+        if budget is not None:
+            assert budget.grows > 0  # the budget actually acted
+        return charges
+
+    assert charge_sequence(True) == charge_sequence(False)
