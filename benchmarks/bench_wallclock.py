@@ -435,6 +435,86 @@ def run_adaptive(duration_ms: int):
     return adaptive_elapsed, None, {"pinned_path": pinned_elapsed}, simulated
 
 
+def run_temporal(duration_ms: int, rounds: int = 10):
+    """SPARQL-T temporal queries (DESIGN.md §8), self-baselined.
+
+    The primary timing is the S1-S6 one-shot set rewritten as
+    ``FROM SNAPSHOT <latest>`` point-in-time queries — identical answers
+    and bit-identical simulated charges to the plain one-shots (the
+    temporal differential suite proves it), so the wall gap is exactly
+    the temporal subsystem's overhead: snapshot validation + pinning,
+    the snapshot-keyed plan-cache entry, and the counting access.  The
+    plain one-shots ride along as the ``oneshot_path`` control and
+    ``speedup_vs_seed`` is the plain-vs-snapshot ratio (plain one-shot
+    execution *is* the seed behaviour — snapshot scoping did not exist
+    before this scenario; expect ~1.0x).
+
+    Deep-history reads — T1 friendships at historical snapshots, T2/T3
+    interval range selections over ``?ts``, T4 a two-hop quintuple join
+    — run once after the timed sets (scalarization is disabled so the
+    full version history stays readable); their version-chain traversal
+    statistics are recorded under ``simulated``.
+    """
+    bench = _bench()
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=duration_ms,
+                           scalarization=False)
+    engine.run_until(duration_ms)
+    stable = engine.coordinator.stable_sn
+    plain = [bench.oneshot_query(name) for name in S_QUERIES]
+    snapshot = [text.replace("WHERE", f"FROM SNAPSHOT <{stable}> WHERE", 1)
+                for text in plain]
+
+    def execute_all(queries):
+        def run():
+            for _ in range(rounds):
+                for text in queries:
+                    engine.oneshot(text)
+        return run
+
+    # Warm both sets once (parse cache + compiled plans), so neither
+    # timed set absorbs the other's cold misses.
+    execute_all(snapshot + plain)()
+    snapshot_elapsed = _timed(execute_all(snapshot))
+    twin_records = engine.temporal.records[-rounds * len(snapshot):]
+    plain_elapsed = _timed(execute_all(plain))
+
+    deep_snapshots = sorted({max(1, stable // 4), max(1, stable // 2),
+                             max(1, (3 * stable) // 4)})
+    deep = [bench.temporal_query("T1", snapshot=sn)
+            for sn in deep_snapshots]
+    deep += [bench.temporal_query(name, ts_from=1,
+                                  ts_to=max(2, stable // 2))
+             for name in ("T2", "T3")]
+    deep.append(bench.temporal_query("T4"))
+    before = len(engine.temporal.records)
+    for text in deep:
+        engine.oneshot(text)
+    deep_records = engine.temporal.records[before:]
+
+    simulated = {
+        "stable_sn": stable,
+        "snapshot_latest": {
+            "executions": len(twin_records),
+            "snapshot_reads": sum(r.snapshot_reads for r in twin_records),
+            "version_entries": sum(r.version_entries
+                                   for r in twin_records),
+        },
+        "deep_history": {
+            "queries": len(deep_records),
+            "rows": sum(r.row_count for r in deep_records),
+            "snapshot_reads": sum(r.snapshot_reads for r in deep_records),
+            "version_entries": sum(r.version_entries
+                                   for r in deep_records),
+            "max_chain_depth": max((r.max_chain_depth
+                                    for r in deep_records), default=0),
+            "simulated_ms_total": round(sum(r.meter.ns
+                                            for r in deep_records) / 1e6,
+                                        3),
+        },
+    }
+    return snapshot_elapsed, None, {"oneshot_path": plain_elapsed}, simulated
+
+
 SCENARIOS = {
     "injection": run_injection,
     "continuous": run_continuous_phased,
@@ -442,12 +522,13 @@ SCENARIOS = {
     "distributed": run_distributed,
     "serving": run_serving,
     "adaptive": run_adaptive,
+    "temporal": run_temporal,
 }
 
 #: Scenarios whose seed behaviour is a same-run control path, not a
 #: baseline file: control name -> the speedup is control / median.
 SELF_BASELINED = {"distributed": "row_path", "serving": "unshared_path",
-                  "adaptive": "pinned_path"}
+                  "adaptive": "pinned_path", "temporal": "oneshot_path"}
 
 
 def measure(duration_ms: int, repeats: int) -> dict:

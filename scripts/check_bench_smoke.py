@@ -49,7 +49,7 @@ THRESHOLD = 0.6
 #: typical, with noisy runs to ~1.6x), so its floor is 0.5x committed
 #: (~1.3x) — still clearly above the regressed ~1.0x regime.
 SCENARIO_THRESHOLDS = {"continuous": 0.7, "serving": 0.6,
-                       "adaptive": 0.5}
+                       "adaptive": 0.5, "temporal": 0.5}
 
 
 def main(argv=None) -> int:

@@ -22,7 +22,12 @@ Attribution per activity:
 
 Window activities carry a ``query=`` label; one-shot activities do not,
 so the S one-shots are named by execution order (the driver runs them in
-a fixed order after the streaming workload).  The window table also
+a fixed order after the streaming workload).  After the plain S set the
+driver re-runs each S query as its ``FROM SNAPSHOT <latest>`` temporal
+twin; the temporal table reports the version-chain traversal behind each
+twin (``snapshot_reads``, ``version_entries``, ``max_chain``) from the
+temporal engine's execution records, and check mode asserts every twin's
+simulated latency is bit-identical to its plain one-shot (DESIGN.md §8).  The window table also
 carries a ``replans`` column (the workload runs with adaptive
 re-planning enabled): how many times the plan monitor swapped each
 continuous query's ordering mid-run — the companion figure to the phase
@@ -84,6 +89,13 @@ def run_traced_workload(duration_ms: int):
     engine.run_until(duration_ms)
     for name in S_QUERIES:
         engine.oneshot(bench.oneshot_query(name))
+    # Temporal twins: the same S set pinned at the latest stable SN.
+    # Bit-identical charges to the plain runs (asserted in check mode),
+    # plus version-chain traversal counters for the temporal table.
+    stable = engine.coordinator.stable_sn
+    for name in S_QUERIES:
+        engine.oneshot(bench.oneshot_query(name).replace(
+            "WHERE", f"FROM SNAPSHOT <{stable}> WHERE", 1))
     return engine
 
 
@@ -160,15 +172,31 @@ def build_report(engine) -> dict:
     windows = engine.tracer.activities("window")
     exact = paths_exact(oneshots) + paths_exact(windows)
 
-    # The driver runs the S queries in order after the workload; name the
-    # trailing one-shot activities accordingly (their spans carry no
-    # query label).
+    # The driver runs the plain S queries in order after the workload,
+    # then their FROM SNAPSHOT twins; name the trailing one-shot
+    # activities accordingly (their spans carry no query label).  The
+    # twins' inner executions are also one-shot activities — the plain
+    # set sits just before them.
     oneshot_rows: Dict[str, Dict[str, float]] = {}
     oneshot_counts: Dict[str, int] = {}
-    tail = oneshots[-len(S_QUERIES):]
+    tail = oneshots[-2 * len(S_QUERIES):-len(S_QUERIES)]
     for name, activity in zip(S_QUERIES, tail):
         oneshot_rows[name] = attribute(spans, activity)
         oneshot_counts[name] = 1
+
+    temporal_rows: Dict[str, Dict[str, float]] = {}
+    temporal_matches: Dict[str, bool] = {}
+    twins = engine.temporal.records[-len(S_QUERIES):]
+    for name, record in zip(S_QUERIES, twins):
+        temporal_rows[name] = {
+            "total_us": record.meter.ns / 1e3,
+            "rows": record.row_count,
+            "snapshot_reads": record.snapshot_reads,
+            "version_entries": record.version_entries,
+            "max_chain": record.max_chain_depth,
+        }
+        plain_total = oneshot_rows.get(name, {}).get("total", 0.0)
+        temporal_matches[name] = record.meter.ns == plain_total
 
     window_rows: Dict[str, Dict[str, float]] = {}
     window_counts: Dict[str, int] = {}
@@ -191,6 +219,8 @@ def build_report(engine) -> dict:
         "window_replans": {name: len(handle.replans)
                            for name, handle
                            in engine.continuous.queries.items()},
+        "temporal": temporal_rows,
+        "temporal_matches": temporal_matches,
         "activities": len(oneshots) + len(windows),
         "exact_paths": exact,
         "problems": problems,
@@ -218,6 +248,16 @@ def check_report(report: dict) -> List[str]:
         if "explore" not in buckets:
             problems.append(
                 f"window {query}: phase 'explore' missing from its trace")
+    if not report["temporal"]:
+        problems.append("no temporal twin executions recorded")
+    for query, row in report["temporal"].items():
+        if row["snapshot_reads"] <= 0:
+            problems.append(
+                f"temporal twin {query}: no snapshot reads counted")
+        if not report["temporal_matches"].get(query, False):
+            problems.append(
+                f"temporal twin {query}: simulated latency diverged from "
+                f"its plain one-shot")
     return problems
 
 
@@ -242,6 +282,17 @@ def main(argv=None) -> int:
                        "mean over runs)",
                        report["windows"], report["window_counts"],
                        extra_columns={"replans": report["window_replans"]}))
+    print()
+    temporal_header = ["query", "total_us", "rows", "snapshot_reads",
+                       "version_entries", "max_chain"]
+    lines = ["temporal twins (FROM SNAPSHOT <latest>, simulated us)",
+             "  ".join(f"{h:>15}" for h in temporal_header)]
+    for query in sorted(report["temporal"]):
+        row = report["temporal"][query]
+        lines.append("  ".join(
+            [f"{query:>15}", f"{row['total_us']:>15.3f}"] +
+            [f"{row[name]:>15}" for name in temporal_header[2:]]))
+    print("\n".join(lines))
     print()
     print(f"critical path exact for {report['exact_paths']}/"
           f"{report['activities']} activities")

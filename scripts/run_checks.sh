@@ -5,7 +5,9 @@
 # (thousands of concurrent subscriptions; marked `serving`), the
 # chaos suite (fault-injection equivalence; marked `chaos`) and the
 # adaptive re-planning suite (skew-inversion differentials; marked
-# `adaptive`) are the slowest blocks and run as their own stages,
+# `adaptive`) and the temporal suite (SPARQL-T snapshot/interval
+# differentials; marked `temporal`) are the slowest blocks and run as
+# their own stages,
 # followed by the columnar differential suite (batch vs row window
 # closes must be bit-identical, including under a kill-during-close
 # fault plan; DESIGN.md §4.9) and a drift check of the golden files
@@ -30,7 +32,7 @@ cd "$(dirname "$0")/.."
 
 echo "== tier-1 tests (fast tier) =="
 PYTHONPATH=src python -m pytest -x -q \
-    -m "not chaos and not serving and not adaptive"
+    -m "not chaos and not serving and not adaptive and not temporal"
 
 echo "== serving battery (sharing, admission, fairness) =="
 PYTHONPATH=src python -m pytest -x -q -m "serving and not chaos"
@@ -40,6 +42,9 @@ PYTHONPATH=src python -m pytest -x -q -m chaos
 
 echo "== adaptive re-planning suite (swap differentials + hysteresis) =="
 PYTHONPATH=src python -m pytest -x -q -m adaptive
+
+echo "== temporal suite (SPARQL-T snapshot + interval differentials) =="
+PYTHONPATH=src python -m pytest -x -q -m temporal
 
 echo "== columnar differential (batch vs row window closes) =="
 PYTHONPATH=src python -m pytest -x -q \

@@ -394,3 +394,43 @@ class LSBench:
         if name not in templates:
             raise KeyError(f"unknown LSBench one-shot query: {name}")
         return templates[name]
+
+    # -- temporal (SPARQL-T) queries ---------------------------------------------
+    def temporal_query(self, name: str, start_user: int = 0,
+                       snapshot: Optional[int] = None,
+                       ts_from: int = 1, ts_to: int = 4) -> str:
+        """The SPARQL-T text of T1..T4.
+
+        ``snapshot`` scopes the point-in-time queries (defaults to the
+        base snapshot — the initially loaded graph); ``[ts_from, ts_to)``
+        bounds the interval queries' snapshot range.
+
+        * **T1** — "friendships active at t": one user's friends as they
+          stood at snapshot ``t`` (point-in-time, delegates to the
+          columnar one-shot path).
+        * **T2** — "posts within [t1, t2)": posts whose insertion SN
+          falls inside the range, via numeric FILTERs on the bound
+          ``?ts`` endpoint.
+        * **T3** — the same range selection phrased as an interval
+          FILTER (``OVERLAPS`` against a constant interval) — exercises
+          the interval-predicate path end to end.
+        * **T4** — deep history: friends' posts (a 2-hop join) where
+          both edges carry valid-time intervals and the posting edge
+          must not predate the friendship edge.
+        """
+        user = self.user(start_user)
+        scope = f"FROM SNAPSHOT <{snapshot}> " if snapshot is not None \
+            else ""
+        templates = {
+            "T1": f"SELECT ?F {scope}WHERE {{ {user} fo ?F }}",
+            "T2": f"SELECT ?U ?P ?ts {scope}WHERE {{ ?U po ?P [?ts, ?te) "
+                  f"FILTER (?ts >= {ts_from}) FILTER (?ts < {ts_to}) }}",
+            "T3": f"SELECT ?U ?P {scope}WHERE {{ ?U po ?P [?ts, ?te) "
+                  f"FILTER ([?ts, ?te) OVERLAPS [{ts_from}, {ts_to})) }}",
+            "T4": f"SELECT ?F ?P ?fts ?pts {scope}WHERE {{ "
+                  f"{user} fo ?F [?fts, ?fte) . ?F po ?P [?pts, ?pte) "
+                  f"FILTER (?pts >= ?fts) }}",
+        }
+        if name not in templates:
+            raise KeyError(f"unknown LSBench temporal query: {name}")
+        return templates[name]

@@ -20,7 +20,8 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.core.snapshot import SNVTSPlan
 from repro.core.vts import VectorTimestamp
-from repro.errors import ConsistencyError
+from repro.errors import (ConsistencyError, SnapshotBelowGCFrontierError,
+                          SnapshotNotYetStableError)
 from repro.sim.cost import CostModel, LatencyMeter
 from repro.store.distributed import DistributedStore
 
@@ -68,6 +69,10 @@ class Coordinator:
         self._stable_sn = 0
         self._compacted_through = 0
         self._down: set = set()
+        #: Snapshot pins held by in-flight temporal reads: SN -> refcount.
+        #: Compaction never advances past the lowest pinned snapshot, so a
+        #: pinned read stays exact while ingestion (and GC) continue.
+        self._pins: Dict[int, int] = {}
         # The plan is announced ahead of injection (Fig. 11): publish the
         # first mapping immediately.
         self._publish_next()
@@ -151,6 +156,11 @@ class Coordinator:
             self._publish_next(meter)
         if self.scalarization and store is not None:
             bound = self._stable_sn - (self.keep_snapshots - 1)
+            if self._pins:
+                # A pinned snapshot t stays exact as long as the frontier
+                # does not pass it: entries relabelled to BASE by a
+                # compaction bounded at <= t were already visible at t.
+                bound = min(bound, min(self._pins))
             if bound > self._compacted_through:
                 store.compact(bound)
                 self._compacted_through = bound
@@ -175,3 +185,44 @@ class Coordinator:
     @property
     def compacted_through(self) -> int:
         return self._compacted_through
+
+    # -- snapshot pinning (SPARQL-T reads vs the GC frontier) --------------
+    def pin_snapshot(self, snapshot: int) -> int:
+        """Pin ``snapshot`` against compaction for an in-flight read.
+
+        Validates readability *and* holds the GC frontier at or below the
+        pinned SN until :meth:`unpin_snapshot`, so a temporal read stays
+        exact even if :meth:`advance` runs mid-query.  Raises a typed
+        :class:`~repro.errors.TemporalError` — never returns silently
+        wrong data — when the snapshot is outside the readable range
+        ``[compacted_through, stable_sn]``.
+        """
+        if snapshot < self._compacted_through:
+            raise SnapshotBelowGCFrontierError(
+                f"snapshot {snapshot} predates the GC frontier "
+                f"{self._compacted_through}: its version segments were "
+                f"scalarized into the base snapshot",
+                snapshot=snapshot, frontier=self._compacted_through,
+                stable=self._stable_sn)
+        if snapshot > self._stable_sn:
+            raise SnapshotNotYetStableError(
+                f"snapshot {snapshot} is above the stable SN "
+                f"{self._stable_sn}: not every node has inserted the "
+                f"batches it covers",
+                snapshot=snapshot, frontier=self._compacted_through,
+                stable=self._stable_sn)
+        self._pins[snapshot] = self._pins.get(snapshot, 0) + 1
+        return snapshot
+
+    def unpin_snapshot(self, snapshot: int) -> None:
+        """Release one pin on ``snapshot`` (idempotent per pin)."""
+        count = self._pins.get(snapshot, 0)
+        if count <= 1:
+            self._pins.pop(snapshot, None)
+        else:
+            self._pins[snapshot] = count - 1
+
+    @property
+    def pinned_snapshots(self) -> Dict[int, int]:
+        """A copy of the live pin table (SN -> refcount)."""
+        return dict(self._pins)

@@ -176,6 +176,10 @@ class WukongSEngine:
             self.cluster, self.store, self.coordinator,
             contention_factor=cfg.oneshot_contention,
             use_batch=cfg.columnar_batch)
+        # Imported at runtime: repro.temporal imports core modules.
+        from repro.temporal import TemporalEngine
+        self.temporal = TemporalEngine(
+            self.cluster, self.store, self.coordinator, self.oneshot_engine)
         #: Query text -> parsed AST for repeated one-shot submissions
         #: (bounded; parsing is pure so entries never go stale).
         self._oneshot_parse_cache: Dict[str, Query] = {}
@@ -254,6 +258,8 @@ class WukongSEngine:
         self.oneshot_engine.tracer = tracer
         self.oneshot_engine.metrics = metrics
         self.oneshot_engine.explorer.tracer = tracer
+        self.temporal.tracer = tracer
+        self.temporal.metrics = metrics
         if self.plan_monitor is not None:
             self.plan_monitor.tracer = tracer
             self.plan_monitor.metrics = metrics
@@ -343,6 +349,9 @@ class WukongSEngine:
         else:
             parsed = query
         contended = bool(self.continuous.queries)
+        if parsed.is_temporal:
+            return self.temporal.execute(parsed, home_node=home_node,
+                                         contended=contended)
         return self.oneshot_engine.execute(parsed, home_node=home_node,
                                            contended=contended)
 

@@ -103,12 +103,17 @@ class OneShotEngine:
 
     def execute(self, query: Query, home_node: Optional[int] = None,
                 contended: bool = False,
-                snapshot: Optional[int] = None) -> OneShotRecord:
+                snapshot: Optional[int] = None,
+                access_factory=None) -> OneShotRecord:
         """Run ``query`` once.
 
         ``contended`` marks that continuous workers are concurrently busy
         on the shared store (Wukong+S/On in Table 8); ``snapshot``
-        overrides the read snapshot (defaults to the stable SN).
+        overrides the read snapshot (defaults to the stable SN);
+        ``access_factory`` (``node_id -> (pattern -> StoreAccess)``)
+        overrides the default persistent-store access — the temporal
+        engine passes a counting access so snapshot reads are observable
+        without touching this hot path.
         """
         if query.is_continuous:
             raise ValueError(
@@ -126,10 +131,13 @@ class OneShotEngine:
         if act is not None:
             act.mark("dispatch")
 
-        def factory(node_id):
-            access = PersistentAccess(self.store, home_node=node_id,
-                                      max_sn=sn)
-            return lambda pattern: access
+        if access_factory is not None:
+            factory = access_factory
+        else:
+            def factory(node_id):
+                access = PersistentAccess(self.store, home_node=node_id,
+                                          max_sn=sn)
+                return lambda pattern: access
 
         wall = self.wall_stats
         started = time.perf_counter() if wall is not None else 0.0

@@ -89,5 +89,39 @@ class BacklogAdmissionError(AdmissionError):
     requests or one tenant's queue depth)."""
 
 
+class TemporalError(ReproError):
+    """A SPARQL-T temporal query cannot be answered as asked.
+
+    Like admission control, the temporal subsystem never returns silently
+    wrong or silently empty results: a snapshot the version chains can no
+    longer (or not yet) reconstruct is refused with a subclass of this
+    error naming the offending snapshot and the valid range, so the
+    client can re-ask at a readable snapshot.
+    """
+
+    def __init__(self, message: str, snapshot: int = 0,
+                 frontier: int = 0, stable: int = 0):
+        self.snapshot = snapshot
+        self.frontier = frontier
+        self.stable = stable
+        super().__init__(message)
+
+
+class SnapshotBelowGCFrontierError(TemporalError):
+    """The requested snapshot predates the GC frontier: bounded
+    scalarization has folded its version segments into the base snapshot,
+    so a read at it would silently see later entries."""
+
+
+class SnapshotNotYetStableError(TemporalError):
+    """The requested snapshot is above the cluster's stable SN: some node
+    has not finished inserting the batches the snapshot would cover."""
+
+
+class InvalidIntervalError(TemporalError):
+    """A valid-time interval is malformed (e.g. an empty or inverted
+    ``[ts, te)``, or a non-integer constant endpoint)."""
+
+
 class ChaosError(ReproError):
     """A fault plan is malformed or cannot be applied to this engine."""

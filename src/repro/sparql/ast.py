@@ -30,6 +30,23 @@ FILTER_OPS = ("=", "!=", "<", "<=", ">", ">=")
 #: Aggregate functions supported in SELECT (C-SPARQL online aggregation).
 AGGREGATE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
 
+#: Interval predicates supported in SPARQL-T interval FILTERs, over
+#: half-open valid-time intervals ``[ts, te)`` in snapshot-number space:
+#:
+#: ``OVERLAPS``  the intervals share at least one snapshot;
+#: ``DURING``    the left interval is contained in the right;
+#: ``BEFORE``    the left interval ends at or before the right starts;
+#: ``AFTER``     the left interval starts at or after the right ends;
+#: ``STARTS``    the two intervals start at the same snapshot.
+INTERVAL_OPS = ("OVERLAPS", "DURING", "BEFORE", "AFTER", "STARTS")
+
+#: Sentinel upper endpoint of a still-open valid-time interval.  The
+#: store is append-only, so a quintuple pattern binds its ``?te``
+#: variable to this value for every live entry; query text writes an
+#: open upper endpoint as ``*`` (e.g. ``FILTER ([?ts, ?te) DURING
+#: [3, *))``).
+OPEN_END = 1 << 62
+
 
 @dataclass(frozen=True)
 class FilterExpr:
@@ -54,6 +71,36 @@ class FilterExpr:
 
     def __str__(self) -> str:
         return f"FILTER ({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class IntervalFilter:
+    """One SPARQL-T interval condition: ``FILTER ([ts, te) OP [ts, te))``.
+
+    Each side is a half-open interval whose endpoints are variables
+    (bound by a quintuple pattern's ``[?ts, ?te)`` suffix), non-negative
+    integer snapshot numbers, or ``*`` (parsed to :data:`OPEN_END`) for a
+    still-open upper endpoint.
+    """
+
+    left_ts: str
+    left_te: str
+    op: str
+    right_ts: str
+    right_te: str
+
+    def __post_init__(self) -> None:
+        if self.op not in INTERVAL_OPS:
+            raise ValueError(f"unsupported interval operator: {self.op}")
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(t for t in (self.left_ts, self.left_te,
+                                 self.right_ts, self.right_te)
+                     if is_variable(t))
+
+    def __str__(self) -> str:
+        return (f"FILTER ([{self.left_ts}, {self.left_te}) {self.op} "
+                f"[{self.right_ts}, {self.right_te}))")
 
 
 @dataclass(frozen=True)
@@ -91,14 +138,35 @@ class TriplePattern:
     predicate: str
     object: str
     graph: Optional[str] = None
+    #: SPARQL-T valid-time endpoints from a quintuple suffix
+    #: ``?s ?p ?o [?ts, ?te)``: variables binding each matched entry's
+    #: insertion snapshot and (open) retirement snapshot.  ``None`` on
+    #: ordinary (timeless) triple patterns.
+    ts: Optional[str] = None
+    te: Optional[str] = None
+
+    @property
+    def has_interval(self) -> bool:
+        """Whether this pattern carries a valid-time interval suffix."""
+        return self.ts is not None
 
     def variables(self) -> Tuple[str, ...]:
-        """The distinct variables of this pattern, in s/p/o order."""
+        """The distinct *graph* variables of this pattern, in s/p/o order.
+
+        Interval endpoint variables are deliberately excluded: they bind
+        snapshot numbers, not vertices, so they are never joinable graph
+        bindings (see :meth:`interval_variables`).
+        """
         seen: List[str] = []
         for term in (self.subject, self.predicate, self.object):
             if is_variable(term) and term not in seen:
                 seen.append(term)
         return tuple(seen)
+
+    def interval_variables(self) -> Tuple[str, ...]:
+        """The interval endpoint variables of this pattern, ts first."""
+        return tuple(t for t in (self.ts, self.te)
+                     if t is not None and is_variable(t))
 
     def constants(self) -> Tuple[str, ...]:
         """The constant terms of this pattern (subject/object only)."""
@@ -107,7 +175,9 @@ class TriplePattern:
 
     def __str__(self) -> str:
         scope = f"GRAPH {self.graph} " if self.graph else ""
-        return f"{scope}{{ {self.subject} {self.predicate} {self.object} }}"
+        suffix = f" [{self.ts}, {self.te})" if self.has_interval else ""
+        return (f"{scope}{{ {self.subject} {self.predicate} "
+                f"{self.object}{suffix} }}")
 
 
 @dataclass(frozen=True)
@@ -168,11 +238,24 @@ class Query:
     #: UNION alternations: each a list of branches (pattern lists) whose
     #: solutions are concatenated; branches must bind the same variables.
     unions: List[List[List[TriplePattern]]] = field(default_factory=list)
+    #: SPARQL-T point-in-time scope from ``FROM SNAPSHOT <n>``: the
+    #: snapshot number the query reads at.  ``None`` means the current
+    #: stable snapshot (the ordinary one-shot behaviour).
+    snapshot: Optional[int] = None
+    #: SPARQL-T interval conditions over quintuple-pattern endpoints.
+    interval_filters: List[IntervalFilter] = field(default_factory=list)
 
     @property
     def is_continuous(self) -> bool:
         """Continuous queries consume at least one stream window."""
         return bool(self.windows)
+
+    @property
+    def is_temporal(self) -> bool:
+        """Whether this query needs the temporal subsystem (an explicit
+        snapshot scope, a quintuple pattern, or an interval filter)."""
+        return (self.snapshot is not None or bool(self.interval_filters)
+                or any(p.has_interval for p in self.patterns))
 
     def cache_key(self) -> Tuple:
         """A hashable normalized form of this query's semantics.
@@ -180,10 +263,14 @@ class Query:
         Two queries with equal keys plan, compile and execute identically,
         so the key addresses compiled-plan caches.  The registration name
         is excluded (it never affects evaluation); window specs are sorted
-        by stream name so dict ordering cannot split cache entries.
+        by stream name so dict ordering cannot split cache entries.  The
+        snapshot scope is included: with the plan cache keyed on
+        ``(cache_key, order)``, snapshot-scoped plans key on
+        ``(AST, order, snapshot)`` and never collide with the live-query
+        entry for the same pattern text.
         """
         def pat(p: TriplePattern) -> Tuple:
-            return (p.subject, p.predicate, p.object, p.graph)
+            return (p.subject, p.predicate, p.object, p.graph, p.ts, p.te)
 
         return (
             tuple(pat(p) for p in self.patterns),
@@ -200,11 +287,24 @@ class Query:
             tuple(tuple(pat(p) for p in group) for group in self.optionals),
             tuple(tuple(tuple(pat(p) for p in branch) for branch in union)
                   for union in self.unions),
+            self.snapshot,
+            tuple((f.left_ts, f.left_te, f.op, f.right_ts, f.right_te)
+                  for f in self.interval_filters),
         )
+
+    def interval_variables(self) -> List[str]:
+        """All distinct interval endpoint variables, in pattern order."""
+        seen: List[str] = []
+        for pattern in self.patterns:
+            for var in pattern.interval_variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
 
     def variables(self) -> List[str]:
         """All distinct variables mentioned by the patterns (mandatory
-        first, then OPTIONAL groups), in first-use order."""
+        graph variables first, then UNION/OPTIONAL groups, then interval
+        endpoint variables), in first-use order."""
         seen: List[str] = []
         for pattern in self.patterns:
             for var in pattern.variables():
@@ -221,6 +321,9 @@ class Query:
                 for var in pattern.variables():
                     if var not in seen:
                         seen.append(var)
+        for var in self.interval_variables():
+            if var not in seen:
+                seen.append(var)
         return seen
 
     def mandatory_variables(self) -> List[str]:

@@ -8,12 +8,15 @@ Grammar (keywords case-insensitive)::
     register   := REGISTER QUERY name AS
     projection := '*' | item+
     item       := var | FUNC '(' (var | '*') ')' AS var
-    from       := FROM [NAMED] source window?
+    from       := FROM SNAPSHOT n | FROM [NAMED] source window?
     window     := '[' RANGE duration STEP duration ']'
     duration   := integer ('ms' | 's' | 'm')
     group      := '{' clause* '}'
-    clause     := GRAPH source group | FILTER '(' term op term ')' | triple
-    triple     := term term term '.'?
+    clause     := GRAPH source group | FILTER filterbody | triple
+    filterbody := '(' term op term ')'
+                | '(' interval IOP interval ')'
+    triple     := term term term interval? '.'?
+    interval   := '[' endpoint ',' endpoint ')'
     groupby    := GROUP BY var+
 
 ``GRAPH`` clauses bind their patterns to the named stream or static graph;
@@ -21,16 +24,27 @@ bare patterns target the default stored graph.  A window-less ``FROM``
 names a static graph; a ``FROM`` with a window declares a stream.
 Aggregates (COUNT/SUM/AVG/MIN/MAX) implement C-SPARQL's online
 aggregation over streams and stored data.
+
+SPARQL-T (temporal) extensions, after wukong-cube's tRDF dialect:
+``FROM SNAPSHOT <n>`` scopes a one-shot query to snapshot number ``n``
+of the versioned store; a quintuple pattern ``?s ?p ?o [?ts, ?te)``
+additionally binds each matched entry's valid-time interval (insertion
+snapshot and open retirement end) to interval variables; interval
+FILTERs (``FILTER ([?ts, ?te) OVERLAPS [3, 7))``, ops listed in
+:data:`~repro.sparql.ast.INTERVAL_OPS`) constrain those intervals, with
+``*`` as the open upper endpoint.  Interval endpoint variables also work
+in ordinary comparison FILTERs (``FILTER (?ts >= 3)``).
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from repro.errors import ParseError
+from repro.errors import InvalidIntervalError, ParseError
 from repro.sparql.ast import (AGGREGATE_FUNCS, Aggregate, FILTER_OPS,
-                              FilterExpr, Query, TriplePattern, WindowSpec,
+                              FilterExpr, INTERVAL_OPS, IntervalFilter,
+                              OPEN_END, Query, TriplePattern, WindowSpec,
                               is_variable)
 from repro.sparql.lexer import Token, TokenCursor, tokenize
 
@@ -100,22 +114,54 @@ def _parse_window(cursor: TokenCursor) -> WindowSpec:
     return WindowSpec(range_ms=range_ms, step_ms=step_ms)
 
 
+def _parse_quintuple_suffix(cursor: TokenCursor) -> Tuple[str, str]:
+    """Parse a pattern's valid-time suffix ``[?ts, ?te)``.
+
+    Pattern endpoints must be (distinct) variables: the suffix *binds*
+    each matched entry's interval; constants go in interval FILTERs.
+    """
+    opener = cursor.expect("[")
+    ts_token = cursor.next()
+    cursor.expect(",")
+    te_token = cursor.next()
+    cursor.expect(")")
+    for token in (ts_token, te_token):
+        if not is_variable(token.text):
+            raise InvalidIntervalError(
+                f"quintuple interval endpoints must be variables, got "
+                f"{token.text!r} (line {token.line}, column {token.column})")
+    if ts_token.text == te_token.text:
+        raise InvalidIntervalError(
+            f"quintuple interval endpoints must be distinct variables, "
+            f"got [{ts_token.text}, {te_token.text}) (line {opener.line}, "
+            f"column {opener.column})")
+    return ts_token.text, te_token.text
+
+
 def _parse_triple(cursor: TokenCursor, graph: Optional[str],
                   out: List[TriplePattern]) -> None:
     terms = [cursor.next().text for _ in range(3)]
+    ts: Optional[str] = None
+    te: Optional[str] = None
+    upcoming = cursor.peek()
+    if upcoming is not None and upcoming.text == "[":
+        ts, te = _parse_quintuple_suffix(cursor)
     cursor.accept(".")
-    out.append(TriplePattern(terms[0], terms[1], terms[2], graph=graph))
+    out.append(TriplePattern(terms[0], terms[1], terms[2], graph=graph,
+                             ts=ts, te=te))
 
 
 def _parse_union(cursor: TokenCursor, graph: Optional[str],
                  filters: List[FilterExpr],
                  unions: List[List[List[TriplePattern]]],
-                 opener) -> None:
+                 opener,
+                 interval_filters: List[IntervalFilter]) -> None:
     """Parse ``{ branch } UNION { branch } [UNION ...]``."""
     branches: List[List[TriplePattern]] = []
     while True:
         branch: List[TriplePattern] = []
-        _parse_group(cursor, graph, branch, filters, None, None)
+        _parse_group(cursor, graph, branch, filters, None, None,
+                     interval_filters)
         if not branch:
             raise ParseError("empty UNION branch", line=opener.line,
                              column=opener.column)
@@ -137,8 +183,55 @@ def _parse_union(cursor: TokenCursor, graph: Optional[str],
     unions.append(branches)
 
 
-def _parse_filter(cursor: TokenCursor, filters: List[FilterExpr]) -> None:
+def _parse_interval_endpoint(cursor: TokenCursor) -> str:
+    """One interval-FILTER endpoint: a variable, a non-negative integer
+    snapshot number, or ``*`` (normalized to :data:`OPEN_END`)."""
+    token = cursor.next()
+    text = token.text
+    if text == "*":
+        return str(OPEN_END)
+    if is_variable(text):
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise InvalidIntervalError(
+            f"interval endpoint must be a variable, a non-negative "
+            f"integer or '*', got {text!r} (line {token.line}, column "
+            f"{token.column})") from None
+    if value < 0:
+        raise InvalidIntervalError(
+            f"interval endpoint must be non-negative: {value} (line "
+            f"{token.line}, column {token.column})")
+    return text
+
+
+def _parse_filter_interval(cursor: TokenCursor) -> Tuple[str, str]:
+    cursor.expect("[")
+    ts = _parse_interval_endpoint(cursor)
+    cursor.expect(",")
+    te = _parse_interval_endpoint(cursor)
+    cursor.expect(")")
+    return ts, te
+
+
+def _parse_filter(cursor: TokenCursor, filters: List[FilterExpr],
+                  interval_filters: List[IntervalFilter]) -> None:
     cursor.expect("(")
+    upcoming = cursor.peek()
+    if upcoming is not None and upcoming.text == "[":
+        left_ts, left_te = _parse_filter_interval(cursor)
+        op_token = cursor.next()
+        if op_token.upper not in INTERVAL_OPS:
+            raise ParseError(
+                f"bad interval operator: {op_token.text!r}",
+                line=op_token.line, column=op_token.column)
+        right_ts, right_te = _parse_filter_interval(cursor)
+        cursor.expect(")")
+        cursor.accept(".")
+        interval_filters.append(IntervalFilter(
+            left_ts, left_te, op_token.upper, right_ts, right_te))
+        return
     left = cursor.next().text
     op_token = cursor.next()
     if op_token.text not in FILTER_OPS:
@@ -154,8 +247,11 @@ def _parse_group(cursor: TokenCursor, graph: Optional[str],
                  out: List[TriplePattern],
                  filters: List[FilterExpr],
                  optionals: Optional[List[List[TriplePattern]]] = None,
-                 unions: Optional[List[List[List[TriplePattern]]]] = None
+                 unions: Optional[List[List[List[TriplePattern]]]] = None,
+                 interval_filters: Optional[List[IntervalFilter]] = None
                  ) -> None:
+    if interval_filters is None:
+        interval_filters = []
     cursor.expect("{")
     while not cursor.accept("}"):
         token = cursor.peek()
@@ -166,15 +262,17 @@ def _parse_group(cursor: TokenCursor, graph: Optional[str],
                 raise ParseError("nested alternation groups are "
                                  "unsupported here",
                                  line=token.line, column=token.column)
-            _parse_union(cursor, graph, filters, unions, token)
+            _parse_union(cursor, graph, filters, unions, token,
+                         interval_filters)
         elif token.upper == "GRAPH":
             cursor.next()
             source = cursor.next().text
-            _parse_group(cursor, source, out, filters, optionals, unions)
+            _parse_group(cursor, source, out, filters, optionals, unions,
+                         interval_filters)
             cursor.accept(".")
         elif token.upper == "FILTER":
             cursor.next()
-            _parse_filter(cursor, filters)
+            _parse_filter(cursor, filters, interval_filters)
         elif token.upper == "OPTIONAL":
             if optionals is None:
                 raise ParseError(
@@ -182,7 +280,8 @@ def _parse_group(cursor: TokenCursor, graph: Optional[str],
                     line=token.line, column=token.column)
             cursor.next()
             group: List[TriplePattern] = []
-            _parse_group(cursor, graph, group, filters, None)
+            _parse_group(cursor, graph, group, filters, None,
+                         interval_filters=interval_filters)
             cursor.accept(".")
             if not group:
                 raise ParseError("empty OPTIONAL group",
@@ -252,6 +351,24 @@ def parse_query(text: str) -> Query:
                     line=token.line, column=token.column)
 
     while cursor.accept("FROM"):
+        if cursor.accept("SNAPSHOT"):
+            token = cursor.next()
+            try:
+                snapshot = int(token.text)
+            except ValueError:
+                raise ParseError(
+                    f"FROM SNAPSHOT needs an integer snapshot number, "
+                    f"got {token.text!r}", line=token.line,
+                    column=token.column) from None
+            if snapshot < 0:
+                raise InvalidIntervalError(
+                    f"snapshot number must be non-negative: {snapshot}",
+                    snapshot=snapshot)
+            if query.snapshot is not None:
+                raise ParseError("FROM SNAPSHOT declared twice",
+                                 line=token.line, column=token.column)
+            query.snapshot = snapshot
+            continue
         cursor.accept("NAMED")
         source = cursor.next().text
         upcoming = cursor.peek()
@@ -267,7 +384,7 @@ def parse_query(text: str) -> Query:
 
     cursor.expect("WHERE")
     _parse_group(cursor, None, query.patterns, query.filters,
-                 query.optionals, query.unions)
+                 query.optionals, query.unions, query.interval_filters)
 
     if cursor.accept("GROUP"):
         cursor.expect("BY")
@@ -307,21 +424,16 @@ def _expand_term(term: str, prefixes: dict) -> str:
 
 
 def _expand_prefixes(query: Query, prefixes: dict) -> None:
-    query.patterns[:] = [
-        TriplePattern(_expand_term(p.subject, prefixes),
-                      _expand_term(p.predicate, prefixes),
-                      _expand_term(p.object, prefixes),
-                      graph=_expand_term(p.graph, prefixes)
-                      if p.graph else None)
-        for p in query.patterns
-    ]
     def expand_group(group):
         return [TriplePattern(_expand_term(p.subject, prefixes),
                               _expand_term(p.predicate, prefixes),
                               _expand_term(p.object, prefixes),
                               graph=_expand_term(p.graph, prefixes)
-                              if p.graph else None)
+                              if p.graph else None,
+                              ts=p.ts, te=p.te)
                 for p in group]
+
+    query.patterns[:] = expand_group(query.patterns)
 
     query.optionals[:] = [expand_group(g) for g in query.optionals]
     query.unions[:] = [[expand_group(b) for b in union]
@@ -363,6 +475,8 @@ def _validate(query: Query) -> None:
             raise ParseError(
                 f"FILTER variables never bound by WHERE: {sorted(unbound)}")
 
+    _validate_temporal(query, available)
+
     if query.aggregates:
         for agg in query.aggregates:
             if agg.var is not None and agg.var not in available:
@@ -385,3 +499,70 @@ def _validate(query: Query) -> None:
                 f"BY: {sorted(bare)}")
     elif query.group_by:
         raise ParseError("GROUP BY requires at least one aggregate")
+
+
+def _validate_temporal(query: Query, available: set) -> None:
+    """SPARQL-T cross-checks (no-ops on non-temporal queries)."""
+    for group in query.optionals:
+        for pattern in group:
+            if pattern.has_interval:
+                raise ParseError(
+                    "quintuple patterns are not supported inside OPTIONAL")
+    for union in query.unions:
+        for branch in union:
+            for pattern in branch:
+                if pattern.has_interval:
+                    raise ParseError(
+                        "quintuple patterns are not supported inside UNION")
+    if not query.is_temporal:
+        return
+
+    if query.is_continuous:
+        raise ParseError(
+            "temporal scopes (FROM SNAPSHOT, quintuple patterns, interval "
+            "FILTERs) apply to one-shot queries only, not to queries over "
+            f"stream windows: {sorted(query.windows)}")
+
+    has_intervals = bool(query.interval_filters) or \
+        any(p.has_interval for p in query.patterns)
+    if has_intervals:
+        # The interval evaluator handles conjunctive quintuple joins; the
+        # aggregate / OPTIONAL / UNION machinery lives in the timeless
+        # executors.  FROM SNAPSHOT alone composes with all of them.
+        if query.aggregates:
+            raise ParseError(
+                "interval patterns/FILTERs cannot combine with aggregates")
+        if query.optionals:
+            raise ParseError(
+                "interval patterns/FILTERs cannot combine with OPTIONAL")
+        if query.unions:
+            raise ParseError(
+                "interval patterns/FILTERs cannot combine with UNION")
+
+    graph_vars = set()
+    for pattern in query.patterns:
+        graph_vars.update(pattern.variables())
+    collisions = graph_vars & set(query.interval_variables())
+    if collisions:
+        raise ParseError(
+            f"interval endpoint variables collide with graph variables: "
+            f"{sorted(collisions)}")
+
+    for ifilter in query.interval_filters:
+        unbound = set(ifilter.variables()) - available
+        if unbound:
+            raise ParseError(
+                f"FILTER variables never bound by WHERE: {sorted(unbound)}")
+        for ts, te in ((ifilter.left_ts, ifilter.left_te),
+                       (ifilter.right_ts, ifilter.right_te)):
+            if is_variable(ts) or is_variable(te):
+                continue
+            try:
+                ts_value, te_value = int(ts), int(te)
+            except ValueError:
+                raise InvalidIntervalError(
+                    f"non-integer constant interval endpoint in "
+                    f"[{ts}, {te})") from None
+            if te_value <= ts_value:
+                raise InvalidIntervalError(
+                    f"empty or inverted interval [{ts}, {te})")

@@ -195,6 +195,32 @@ class DistributedStore:
                                      max_sn=max_sn, category=category)
         return fetched
 
+    def neighbors_versions_from(self, home_node: int, vid: int, eid: int,
+                                d: int, meter: LatencyMeter,
+                                max_sn: Optional[int] = None,
+                                category: str = "store"
+                                ) -> Tuple[List[int], List[int]]:
+        """Version-carrying neighbour lookup as seen from ``home_node``.
+
+        The SPARQL-T quintuple read: returns ``(vids, sns)`` — each
+        visible neighbour paired with its insertion snapshot — with the
+        same placement pricing as :meth:`neighbors_from` (local keys pay
+        probe+scan, remote keys two remote reads).  The SN column lives
+        in the same value list, so no extra read is charged.  Bypasses
+        the adjacency-segment cache: that cache stores value prefixes
+        only, and the temporal evaluator is not on the hot one-shot path.
+        """
+        owner = vid % len(self.cluster.nodes)
+        key = (vid << _VID_SHIFT) | (eid << _EID_SHIFT) | d
+        shard = self.shards[owner]
+        if owner != home_node:
+            self.cluster.fabric.remote_read(meter, _KEY_BYTES,
+                                            category="network")
+            self.cluster.fabric.remote_read(meter, shard.value_bytes(key),
+                                            category="network")
+        return shard.lookup_versions(key, max_sn=max_sn, meter=meter,
+                                     category=category)
+
     def span_from(self, home_node: int, span: ValueSpan, owner: int,
                   meter: LatencyMeter, category: str = "store") -> List[int]:
         """Direct span read (stream-index fast path): at most one remote read."""

@@ -583,6 +583,35 @@ class ShardStore:
                          category=category)
         return visible
 
+    def lookup_versions(self, key: Key, max_sn: Optional[int] = None,
+                        meter: Optional[LatencyMeter] = None,
+                        category: str = "store"
+                        ) -> Tuple[List[int], List[int]]:
+        """The ``(vids, sns)`` prefix of ``key`` visible at ``max_sn``.
+
+        The SPARQL-T quintuple read: like :meth:`lookup` but also returns
+        each visible entry's insertion snapshot, so the temporal evaluator
+        can bind valid-time intervals.  Charges exactly what :meth:`lookup`
+        charges — one hash probe plus a scan of the visible prefix; the SN
+        column rides along with the value scan, it is not a second read.
+        Note compaction relabels SNs at or below the GC frontier to
+        :data:`BASE_SN`, so insertion snapshots below the frontier are
+        coarsened to the base (reads *above* the frontier are exact).
+        """
+        values = self._values.get(key)
+        if meter is not None:
+            meter.charge(self.cost.hash_probe_ns, category=category)
+        if values is None:
+            return [], []
+        if max_sn is None:
+            cut = len(values.vids)
+        else:
+            cut = bisect_right(values.sns, max_sn)
+        if meter is not None:
+            meter.charge(self.cost.scan_entry_ns, times=cut,
+                         category=category)
+        return values.vids[:cut], values.sns[:cut]
+
     def lookup_span(self, span: ValueSpan,
                     meter: Optional[LatencyMeter] = None,
                     category: str = "store") -> List[int]:

@@ -1,0 +1,120 @@
+"""Snapshot pinning against the GC frontier.
+
+The compactor's frontier (``Coordinator.compacted_through``) bounds how
+far back a temporal read may reach: queries at or above the frontier
+(up to the stable SN) are answerable; queries below it are refused with
+a typed error — never answered silently wrong from relabelled history.
+A pinned snapshot holds the frontier in place even while ingestion and
+compaction keep running.
+"""
+
+import pytest
+
+from repro.bench.harness import build_wukongs
+from repro.bench.lsbench import LSBench, LSBenchConfig
+from repro.errors import (SnapshotBelowGCFrontierError,
+                          SnapshotNotYetStableError, TemporalError)
+
+pytestmark = pytest.mark.temporal
+
+
+def build_compacting_engine(duration_ms=2_000):
+    """A scalarizing engine run long enough that compaction has bitten."""
+    bench = LSBench(LSBenchConfig())
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=duration_ms)
+    engine.run_until(duration_ms)
+    assert engine.coordinator.compacted_through > 0, \
+        "workload too short for compaction to advance"
+    return bench, engine
+
+
+def snapshot_query(bench, snapshot):
+    return bench.temporal_query("T1", snapshot=snapshot)
+
+
+class TestBoundaries:
+    def test_read_at_frontier_succeeds(self):
+        bench, engine = build_compacting_engine()
+        frontier = engine.coordinator.compacted_through
+        record = engine.oneshot(snapshot_query(bench, frontier))
+        assert record.snapshot == frontier
+
+    def test_read_between_frontier_and_stable_succeeds(self):
+        bench, engine = build_compacting_engine()
+        frontier = engine.coordinator.compacted_through
+        stable = engine.coordinator.stable_sn
+        for snapshot in sorted({frontier + 1, (frontier + stable) // 2,
+                                stable}):
+            if frontier <= snapshot <= stable:
+                record = engine.oneshot(snapshot_query(bench, snapshot))
+                assert record.snapshot == snapshot
+
+    def test_read_below_frontier_refused(self):
+        bench, engine = build_compacting_engine()
+        frontier = engine.coordinator.compacted_through
+        with pytest.raises(SnapshotBelowGCFrontierError) as excinfo:
+            engine.oneshot(snapshot_query(bench, frontier - 1))
+        assert excinfo.value.snapshot == frontier - 1
+        assert excinfo.value.frontier == frontier
+        assert isinstance(excinfo.value, TemporalError)
+
+    def test_read_above_stable_refused(self):
+        bench, engine = build_compacting_engine()
+        stable = engine.coordinator.stable_sn
+        with pytest.raises(SnapshotNotYetStableError) as excinfo:
+            engine.oneshot(snapshot_query(bench, stable + 1))
+        assert excinfo.value.snapshot == stable + 1
+        assert excinfo.value.stable == stable
+
+    def test_refused_reads_leave_no_pins(self):
+        bench, engine = build_compacting_engine()
+        frontier = engine.coordinator.compacted_through
+        for bad in (frontier - 1, engine.coordinator.stable_sn + 1):
+            with pytest.raises(TemporalError):
+                engine.oneshot(snapshot_query(bench, bad))
+        assert engine.coordinator.pinned_snapshots == {}
+
+
+class TestPinsRaceCompaction:
+    def test_pin_holds_frontier_while_ingestion_continues(self):
+        bench, engine = build_compacting_engine(duration_ms=1_500)
+        coordinator = engine.coordinator
+        pinned = coordinator.stable_sn
+        query = snapshot_query(bench, pinned)
+        baseline = engine.oneshot(query).result.rows
+
+        coordinator.pin_snapshot(pinned)
+        try:
+            engine.run_until(4_000)
+            # Compaction kept running but could not pass the pin.
+            assert coordinator.compacted_through <= pinned
+            assert coordinator.stable_sn > pinned
+            # The pinned snapshot stays exactly readable mid-race.
+            assert engine.oneshot(query).result.rows == baseline
+        finally:
+            coordinator.unpin_snapshot(pinned)
+
+        # Once released, the frontier is free to pass the old pin.
+        engine.run_until(6_000)
+        assert coordinator.compacted_through > pinned
+        with pytest.raises(SnapshotBelowGCFrontierError):
+            engine.oneshot(snapshot_query(bench, pinned - 1))
+
+    def test_refcounted_pins_release_in_any_order(self):
+        bench, engine = build_compacting_engine(duration_ms=1_500)
+        coordinator = engine.coordinator
+        stable = coordinator.stable_sn
+        coordinator.pin_snapshot(stable)
+        coordinator.pin_snapshot(stable)
+        coordinator.unpin_snapshot(stable)
+        assert coordinator.pinned_snapshots == {stable: 1}
+        engine.run_until(4_000)
+        assert coordinator.compacted_through <= stable
+        coordinator.unpin_snapshot(stable)
+        assert coordinator.pinned_snapshots == {}
+
+    def test_pin_below_frontier_rejected(self):
+        bench, engine = build_compacting_engine()
+        frontier = engine.coordinator.compacted_through
+        with pytest.raises(SnapshotBelowGCFrontierError):
+            engine.coordinator.pin_snapshot(frontier - 1)

@@ -1,0 +1,51 @@
+"""Observability hooks of the temporal engine: metrics and trace spans."""
+
+import pytest
+
+from repro.bench.harness import build_wukongs
+from repro.bench.lsbench import LSBench, LSBenchConfig
+
+pytestmark = pytest.mark.temporal
+
+
+@pytest.fixture(scope="module")
+def traced():
+    bench = LSBench(LSBenchConfig())
+    engine = build_wukongs(bench, num_nodes=1, duration_ms=500,
+                           scalarization=False)
+    engine.enable_observability()
+    engine.run_until(500)
+    snapshot = engine.coordinator.stable_sn
+    engine.oneshot(bench.temporal_query("T1", snapshot=snapshot))
+    engine.oneshot(bench.temporal_query("T2"))
+    return bench, engine
+
+
+def test_temporal_metrics_accumulate(traced):
+    bench, engine = traced
+    registry = engine.metrics
+    assert registry.counter("temporal_snapshot_reads").value > 0
+    assert registry.counter("temporal_version_entries").value > 0
+    assert registry.histogram("temporal_ns").count == 2
+
+
+def test_temporal_spans_carry_traversal_labels(traced):
+    bench, engine = traced
+    spans = engine.tracer.activities("temporal")
+    assert len(spans) == 2
+    by_path = {span.labels["path"]: span for span in spans}
+    assert set(by_path) == {"snapshot", "interval"}
+    for span in spans:
+        assert span.labels["snapshot"] >= 0
+        assert "snapshot_reads" in span.labels
+        assert "rows" in span.labels
+    assert by_path["interval"].labels["max_chain_depth"] >= 1
+
+
+def test_records_expose_traversal_depth(traced):
+    bench, engine = traced
+    snapshot_rec, interval_rec = engine.temporal.records[-2:]
+    assert not snapshot_rec.interval_path
+    assert interval_rec.interval_path
+    assert interval_rec.version_entries >= interval_rec.snapshot_reads
+    assert interval_rec.max_chain_depth >= 1
