@@ -435,84 +435,113 @@ def run_adaptive(duration_ms: int):
     return adaptive_elapsed, None, {"pinned_path": pinned_elapsed}, simulated
 
 
-def run_temporal(duration_ms: int, rounds: int = 10):
+def run_temporal(duration_ms: int, rounds: int = 8):
     """SPARQL-T temporal queries (DESIGN.md §8), self-baselined.
 
-    The primary timing is the S1-S6 one-shot set rewritten as
-    ``FROM SNAPSHOT <latest>`` point-in-time queries — identical answers
-    and bit-identical simulated charges to the plain one-shots (the
-    temporal differential suite proves it), so the wall gap is exactly
-    the temporal subsystem's overhead: snapshot validation + pinning,
-    the snapshot-keyed plan-cache entry, and the counting access.  The
-    plain one-shots ride along as the ``oneshot_path`` control and
-    ``speedup_vs_seed`` is the plain-vs-snapshot ratio (plain one-shot
-    execution *is* the seed behaviour — snapshot scoping did not exist
-    before this scenario; expect ~1.0x).
+    The primary timing is a deep-history *interval* workload — T2/T3
+    range selections over the full retained ``?ts`` history (numeric
+    FILTERs and a constant-interval ``OVERLAPS``) plus T4 two-hop
+    quintuple joins from several start users — on the columnar batch
+    kernels (:mod:`repro.temporal.kernels`).  The row evaluator rides
+    along as the ``row_path`` control (``use_batch=False``; bit-identical
+    rows and simulated charges, asserted per query under ``simulated``),
+    so ``speedup_vs_seed`` is the batch-vs-row ratio: the row evaluator
+    *is* the seed behaviour — the interval family ran row-based before
+    the batch kernels landed.  Scalarization is disabled so the full
+    version history stays readable; both timed sets run with warm
+    parse and compiled-plan caches (the shared plan makes a cache hit
+    identical work for either kernel).
 
-    Deep-history reads — T1 friendships at historical snapshots, T2/T3
-    interval range selections over ``?ts``, T4 a two-hop quintuple join
-    — run once after the timed sets (scalarization is disabled so the
-    full version history stays readable); their version-chain traversal
-    statistics are recorded under ``simulated``.
+    The previous primary — the S1-S6 set as ``FROM SNAPSHOT <latest>``
+    twins vs their plain one-shots — is retained as the
+    ``snapshot_latest`` / ``oneshot_plain`` control pair: their ~1.0x
+    ratio is the temporal subsystem's overhead figure (snapshot
+    validation + pinning + the counting access), unchanged by this
+    scenario's interval focus.
     """
     bench = _bench()
     engine = build_wukongs(bench, num_nodes=1, duration_ms=duration_ms,
                            scalarization=False)
     engine.run_until(duration_ms)
     stable = engine.coordinator.stable_sn
+    temporal = engine.temporal
+
+    # Deep-history interval workload: full-range and half-range ?ts
+    # selections, both FILTER phrasings, plus quintuple joins.
+    hi = max(2, stable)
+    mid = max(1, stable // 2)
+    interval = [
+        bench.temporal_query("T2", ts_from=1, ts_to=hi),
+        bench.temporal_query("T3", ts_from=1, ts_to=hi),
+        bench.temporal_query("T2", ts_from=mid, ts_to=hi),
+        bench.temporal_query("T3", ts_from=1, ts_to=max(2, mid)),
+    ]
+    interval += [bench.temporal_query("T4", start_user=user)
+                 for user in range(4)]
+
+    def run_set(queries, times):
+        for _ in range(times):
+            for text in queries:
+                engine.oneshot(text)
+
+    # Warm both kernel families once (parse cache, compiled interval
+    # plans, adjacency segments) so neither timed set pays cold misses.
+    temporal.use_batch = True
+    run_set(interval, 1)
+    temporal.use_batch = False
+    run_set(interval, 1)
+
+    per_round = len(interval)
+    temporal.use_batch = True
+    batch_elapsed = _timed(lambda: run_set(interval, rounds))
+    batch_records = temporal.records[-rounds * per_round:]
+    temporal.use_batch = False
+    row_elapsed = _timed(lambda: run_set(interval, rounds))
+    row_records = temporal.records[-rounds * per_round:]
+    temporal.use_batch = True
+
+    # The retained overhead control: FROM SNAPSHOT <latest> twins vs
+    # their plain one-shots (bit-identical charges; ~1.0x wall).
     plain = [bench.oneshot_query(name) for name in S_QUERIES]
     snapshot = [text.replace("WHERE", f"FROM SNAPSHOT <{stable}> WHERE", 1)
                 for text in plain]
-
-    def execute_all(queries):
-        def run():
-            for _ in range(rounds):
-                for text in queries:
-                    engine.oneshot(text)
-        return run
-
-    # Warm both sets once (parse cache + compiled plans), so neither
-    # timed set absorbs the other's cold misses.
-    execute_all(snapshot + plain)()
-    snapshot_elapsed = _timed(execute_all(snapshot))
-    twin_records = engine.temporal.records[-rounds * len(snapshot):]
-    plain_elapsed = _timed(execute_all(plain))
-
-    deep_snapshots = sorted({max(1, stable // 4), max(1, stable // 2),
-                             max(1, (3 * stable) // 4)})
-    deep = [bench.temporal_query("T1", snapshot=sn)
-            for sn in deep_snapshots]
-    deep += [bench.temporal_query(name, ts_from=1,
-                                  ts_to=max(2, stable // 2))
-             for name in ("T2", "T3")]
-    deep.append(bench.temporal_query("T4"))
-    before = len(engine.temporal.records)
-    for text in deep:
-        engine.oneshot(text)
-    deep_records = engine.temporal.records[before:]
+    run_set(snapshot + plain, 1)
+    snapshot_elapsed = _timed(lambda: run_set(snapshot, rounds))
+    plain_elapsed = _timed(lambda: run_set(plain, rounds))
 
     simulated = {
         "stable_sn": stable,
-        "snapshot_latest": {
-            "executions": len(twin_records),
-            "snapshot_reads": sum(r.snapshot_reads for r in twin_records),
+        "interval_workload": {
+            "queries": per_round,
+            "executions": len(batch_records),
+            "rows": sum(r.row_count for r in batch_records),
+            "snapshot_reads": sum(r.snapshot_reads
+                                  for r in batch_records),
             "version_entries": sum(r.version_entries
-                                   for r in twin_records),
-        },
-        "deep_history": {
-            "queries": len(deep_records),
-            "rows": sum(r.row_count for r in deep_records),
-            "snapshot_reads": sum(r.snapshot_reads for r in deep_records),
-            "version_entries": sum(r.version_entries
-                                   for r in deep_records),
+                                   for r in batch_records),
             "max_chain_depth": max((r.max_chain_depth
-                                    for r in deep_records), default=0),
+                                    for r in batch_records), default=0),
             "simulated_ms_total": round(sum(r.meter.ns
-                                            for r in deep_records) / 1e6,
+                                            for r in batch_records) / 1e6,
                                         3),
+            # Per-query (rows, simulated ns) equality between the timed
+            # batch and row sets — the bench-level echo of the
+            # differential suite's bit-identity proof.
+            "controls_identical": (
+                [(r.row_count, r.meter.ns) for r in batch_records]
+                == [(r.row_count, r.meter.ns) for r in row_records]),
+        },
+        "plan_cache": {
+            "hits": temporal.plan_cache_hits,
+            "misses": temporal.plan_cache_misses,
+            "evictions": temporal.plan_cache_evictions,
         },
     }
-    return snapshot_elapsed, None, {"oneshot_path": plain_elapsed}, simulated
+    return batch_elapsed, None, {
+        "row_path": row_elapsed,
+        "snapshot_latest": snapshot_elapsed,
+        "oneshot_plain": plain_elapsed,
+    }, simulated
 
 
 SCENARIOS = {
@@ -528,7 +557,7 @@ SCENARIOS = {
 #: Scenarios whose seed behaviour is a same-run control path, not a
 #: baseline file: control name -> the speedup is control / median.
 SELF_BASELINED = {"distributed": "row_path", "serving": "unshared_path",
-                  "adaptive": "pinned_path", "temporal": "oneshot_path"}
+                  "adaptive": "pinned_path", "temporal": "row_path"}
 
 
 def measure(duration_ms: int, repeats: int) -> dict:

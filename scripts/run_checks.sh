@@ -43,7 +43,7 @@ PYTHONPATH=src python -m pytest -x -q -m chaos
 echo "== adaptive re-planning suite (swap differentials + hysteresis) =="
 PYTHONPATH=src python -m pytest -x -q -m adaptive
 
-echo "== temporal suite (SPARQL-T snapshot + interval differentials) =="
+echo "== temporal suite (SPARQL-T snapshot + interval differentials, batch-vs-row kernels) =="
 PYTHONPATH=src python -m pytest -x -q -m temporal
 
 echo "== columnar differential (batch vs row window closes) =="

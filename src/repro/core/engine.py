@@ -179,7 +179,8 @@ class WukongSEngine:
         # Imported at runtime: repro.temporal imports core modules.
         from repro.temporal import TemporalEngine
         self.temporal = TemporalEngine(
-            self.cluster, self.store, self.coordinator, self.oneshot_engine)
+            self.cluster, self.store, self.coordinator, self.oneshot_engine,
+            use_batch=cfg.columnar_batch)
         #: Query text -> parsed AST for repeated one-shot submissions
         #: (bounded; parsing is pure so entries never go stale).
         self._oneshot_parse_cache: Dict[str, Query] = {}

@@ -244,6 +244,15 @@ class CacheStats:
     window_evictions: int = 0
     window_delta_hits: int = 0
     window_delta_misses: int = 0
+    #: Temporal engine counters: compiled interval-plan cache (LRU,
+    #: keyed AST + ordering + snapshot, so snapshot sweeps churn it —
+    #: evictions are the signal the bound is working) and interval
+    #: executions by kernel (columnar batch vs the row-path control).
+    temporal_plan_hits: int = 0
+    temporal_plan_misses: int = 0
+    temporal_plan_evictions: int = 0
+    temporal_batch_executions: int = 0
+    temporal_row_executions: int = 0
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -269,6 +278,10 @@ class CacheStats:
     @property
     def window_delta_rate(self) -> float:
         return self._rate(self.window_delta_hits, self.window_delta_misses)
+
+    @property
+    def temporal_plan_hit_rate(self) -> float:
+        return self._rate(self.temporal_plan_hits, self.temporal_plan_misses)
 
 
 @dataclass
@@ -319,6 +332,12 @@ class EngineStats:
             lines.append(
                 f"executor: {caches.batch_executions:,} batch / "
                 f"{caches.row_executions:,} row executions")
+            lines.append(
+                f"temporal: {caches.temporal_batch_executions:,} batch / "
+                f"{caches.temporal_row_executions:,} row interval "
+                f"executions, plans {caches.temporal_plan_hits}/"
+                f"{caches.temporal_plan_hits + caches.temporal_plan_misses} "
+                f"hits ({caches.temporal_plan_evictions:,} evictions)")
             lines.append(
                 f"window views: columns {caches.window_hit_rate:.1%} hit "
                 f"rate ({caches.window_evictions:,} evictions), deltas "
@@ -393,6 +412,11 @@ def collect_stats(engine: WukongSEngine) -> EngineStats:
         window_evictions=window_evictions,
         window_delta_hits=delta_hits,
         window_delta_misses=delta_misses,
+        temporal_plan_hits=engine.temporal.plan_cache_hits,
+        temporal_plan_misses=engine.temporal.plan_cache_misses,
+        temporal_plan_evictions=engine.temporal.plan_cache_evictions,
+        temporal_batch_executions=engine.temporal.batch_executions,
+        temporal_row_executions=engine.temporal.row_executions,
     )
     queries = []
     for handle in engine.continuous.queries.values():

@@ -173,6 +173,20 @@ def collect_metrics(engine, registry: Optional[MetricsRegistry] = None,
         continuous.plan_cache_hits
     registry.counter("continuous_plan_cache_misses").value = \
         continuous.plan_cache_misses
+    # Temporal interval path: compiled-plan LRU and kernel split
+    # (temporal_snapshot_reads / temporal_version_entries / temporal_ns
+    # are pushed per-execution by the temporal engine itself).
+    temporal = engine.temporal
+    registry.counter("temporal_plan_cache_hits").value = \
+        temporal.plan_cache_hits
+    registry.counter("temporal_plan_cache_misses").value = \
+        temporal.plan_cache_misses
+    registry.counter("temporal_plan_cache_evictions").value = \
+        temporal.plan_cache_evictions
+    registry.counter("temporal_batch_executions").value = \
+        temporal.batch_executions
+    registry.counter("temporal_row_executions").value = \
+        temporal.row_executions
     # Adaptive re-planning decisions (repro.core.replan); the per-query
     # planner_replans / planner_replan_skipped_* counters and the
     # estimated-vs-actual cost gauges are pushed by the monitor itself

@@ -26,7 +26,7 @@ from repro.rdf.ids import (
 from repro.rdf.string_server import StringServer
 from repro.rdf.terms import EncodedTriple, Triple
 from repro.sim.cluster import Cluster
-from repro.sim.cost import LatencyMeter
+from repro.sim.cost import ChargeSet, LatencyMeter
 from repro.store.kvstore import ADJACENCY_CACHE_CAPACITY, BASE_SN, \
     ShardStore, ValueSpan
 
@@ -220,6 +220,48 @@ class DistributedStore:
                                             category="network")
         return shard.lookup_versions(key, max_sn=max_sn, meter=meter,
                                      category=category)
+
+    def neighbors_versions_batch(self, home_node: int, vids: Iterable[int],
+                                 eid: int, d: int, meter: LatencyMeter,
+                                 max_sn: Optional[int] = None,
+                                 category: str = "store"
+                                 ) -> Dict[int, Tuple[List[int], List[int]]]:
+        """Batch version-carrying lookup: one probe per *distinct* vid.
+
+        The columnar temporal kernels hand whole start columns here.
+        Probes run in first-occurrence order over ``vids`` — exactly the
+        order of the row evaluator's per-step probe cache issuing
+        :meth:`neighbors_versions_from` calls one by one — so the
+        order-sensitive fractional remote-read charges accumulate
+        identically.  The integer hash-probe and scan charges accumulate
+        through a per-shard :class:`ChargeSet`, flushed *before every
+        fractional remote read* (and once at the end): integer partial
+        sums are exact in any grouping, but only between two fractional
+        charges — each fractional charge must land on the same running
+        total as in the per-probe loop, or its rounding can differ in
+        the last bit (the ``charges_commute`` discipline; same
+        flush-before-float rule as ``WindowAccess.neighbors_many``).
+        """
+        fetched: Dict[int, Tuple[List[int], List[int]]] = {}
+        charges = ChargeSet()
+        nodes = len(self.cluster.nodes)
+        remote_read = self.cluster.fabric.remote_read
+        for vid in vids:
+            if vid in fetched:
+                continue
+            owner = vid % nodes
+            key = (vid << _VID_SHIFT) | (eid << _EID_SHIFT) | d
+            shard = self.shards[owner]
+            if owner != home_node:
+                charges.flush(meter)
+                remote_read(meter, _KEY_BYTES, category="network")
+                remote_read(meter, shard.value_bytes(key),
+                            category="network")
+            fetched[vid] = shard.lookup_versions(key, max_sn=max_sn,
+                                                 meter=charges,
+                                                 category=category)
+        charges.flush(meter)
+        return fetched
 
     def span_from(self, home_node: int, span: ValueSpan, owner: int,
                   meter: LatencyMeter, category: str = "store") -> List[int]:

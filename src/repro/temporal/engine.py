@@ -17,8 +17,15 @@ Execution splits by query shape:
   same results as a plain one-shot at that snapshot (the differential
   suite proves ``FROM SNAPSHOT <latest>`` bit-identical to a plain
   one-shot);
-* *interval* queries run on the dedicated row-based evaluator
-  (:mod:`repro.temporal.evaluate`) over version-carrying store reads.
+* *interval* queries run on the columnar batch kernels
+  (:mod:`repro.temporal.kernels`) over batched version-carrying store
+  reads; the row-based evaluator (:mod:`repro.temporal.evaluate`)
+  stays as the differential control (``use_batch=False``), proven
+  bit-identical in rows, charges, and digest.
+
+Compiled interval plans are LRU-cached (:data:`PLAN_CACHE_CAPACITY`)
+keyed by AST, ordering, and snapshot, with hit/miss/eviction counters
+surfaced in ``CacheStats``.
 
 Both paths count version-chain traversal work (snapshot reads, entries
 scanned, deepest chain) into the :class:`TemporalRecord` and — when
@@ -37,14 +44,22 @@ from repro.errors import UnsupportedOperationError
 from repro.sim.cluster import Cluster
 from repro.sim.cost import LatencyMeter
 from repro.sparql.ast import Query
-from repro.sparql.planner import plan_steps
+from repro.sparql.planner import plan_order, plan_steps
 from repro.store.distributed import DistributedStore, PersistentAccess
 from repro.store.executor import ExecutionResult
 from repro.temporal.evaluate import (IntervalCounters,
                                      evaluate_interval_query)
+from repro.temporal.kernels import (CompiledIntervalPlan,
+                                    evaluate_interval_batch)
 
 #: Bound on retained per-execution records (oldest dropped first).
 RECORD_CAPACITY = 4096
+
+#: Bound on cached compiled interval plans.  The cache key includes the
+#: query's ``cache_key()`` — which carries the read snapshot — so a
+#: client sweeping snapshots mints a fresh key per sweep step; without
+#: eviction the cache would grow without limit (LRU, oldest-use first).
+PLAN_CACHE_CAPACITY = 128
 
 
 @dataclass
@@ -64,6 +79,9 @@ class TemporalRecord(OneShotRecord):
     #: Whether the interval evaluator ran (False = snapshot-only
     #: delegation to the columnar one-shot path).
     interval_path: bool = False
+    #: Whether the columnar batch kernels ran (False = the row-based
+    #: differential control, ``row_path`` in the bench harness).
+    batch_path: bool = False
 
 
 class _CountingAccess(PersistentAccess):
@@ -97,18 +115,61 @@ class TemporalEngine:
     """Executes SPARQL-T queries under snapshot pinning."""
 
     def __init__(self, cluster: Cluster, store: DistributedStore,
-                 coordinator: Coordinator, oneshot: OneShotEngine):
+                 coordinator: Coordinator, oneshot: OneShotEngine,
+                 use_batch: bool = True):
         self.cluster = cluster
         self.store = store
         self.coordinator = coordinator
         self.oneshot = oneshot
+        #: Interval queries run the columnar batch kernels when True,
+        #: the row-based evaluator (the differential control) when
+        #: False.  Both share one compiled plan, so toggling changes
+        #: only Python speed — never rows, charges, or digest.
+        self.use_batch = use_batch
         self._next_home = 0
         #: Completed executions (bounded), newest last; the ablation
         #: report reads traversal statistics from here.
         self.records: List[TemporalRecord] = []
+        #: Compiled interval plans, LRU-bounded at
+        #: :data:`PLAN_CACHE_CAPACITY` entries, keyed
+        #: ``(query.cache_key(), order)`` — AST + ordering + snapshot.
+        self._plan_cache: Dict[tuple, CompiledIntervalPlan] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_cache_evictions = 0
+        #: Interval executions by kernel (snapshot-only delegations are
+        #: counted by the one-shot engine's own executor counters).
+        self.batch_executions = 0
+        self.row_executions = 0
         #: Observability hooks (attached by ``engine.enable_observability``).
         self.tracer = None
         self.metrics = None
+
+    def _plan_interval(self, query: Query) -> CompiledIntervalPlan:
+        """The compiled plan for one interval query, LRU-cached.
+
+        Plan compilation is pure wall-clock work (the simulated plan
+        charge is the dispatch charge either way), so caching cannot
+        move a single simulated nanosecond — both kernels replay the
+        cached steps and filter schedule identically.
+        """
+        stats = self.oneshot._statistics()
+        order = plan_order(query.patterns, stats=stats)
+        key = (query.cache_key(), tuple(order))
+        cache = self._plan_cache
+        plan = cache.pop(key, None)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            cache[key] = plan  # re-insert: most recently used
+            return plan
+        self.plan_cache_misses += 1
+        plan = CompiledIntervalPlan(
+            query, plan_steps(query.patterns, stats=stats))
+        cache[key] = plan
+        if len(cache) > PLAN_CACHE_CAPACITY:
+            del cache[next(iter(cache))]
+            self.plan_cache_evictions += 1
+        return plan
 
     def execute(self, query: Query, home_node: Optional[int] = None,
                 contended: bool = False) -> TemporalRecord:
@@ -194,25 +255,35 @@ class TemporalEngine:
             snapshot_reads=counters.snapshot_reads,
             version_entries=counters.version_entries,
             max_chain_depth=counters.max_chain_depth,
-            interval_path=False)
+            interval_path=False,
+            batch_path=self.oneshot.explorer.use_batch)
 
     def _execute_interval(self, query: Query, home_node: int, snapshot: int,
                           contended: bool,
                           counters: IntervalCounters) -> TemporalRecord:
-        """Interval path: the row-based quintuple evaluator."""
+        """Interval path: columnar batch kernels (or the row control)."""
+        use_batch = self.use_batch
         meter = LatencyMeter()
         act = self.tracer.begin("temporal", "query", meter,
                                 snapshot=snapshot, path="interval",
+                                kernel="batch" if use_batch else "row",
                                 home_node=home_node,
                                 patterns=len(query.patterns)) \
             if self.tracer is not None else None
         meter.charge(self.cluster.cost.task_dispatch_ns, category="dispatch")
-        steps = plan_steps(query.patterns, stats=self.oneshot._statistics())
+        plan = self._plan_interval(query)
         if act is not None:
-            act.mark("plan", steps=len(steps))
-        variables, rows = evaluate_interval_query(
-            query, steps, self.store, home_node, snapshot, meter,
-            counters=counters)
+            act.mark("plan", steps=len(plan.steps))
+        if use_batch:
+            self.batch_executions += 1
+            variables, rows = evaluate_interval_batch(
+                query, plan, self.store, home_node, snapshot, meter,
+                counters=counters)
+        else:
+            self.row_executions += 1
+            variables, rows = evaluate_interval_query(
+                query, plan.steps, self.store, home_node, snapshot, meter,
+                counters=counters)
         if contended and self.oneshot.contention_factor > 0:
             meter.charge(meter.ns * self.oneshot.contention_factor,
                          category="contention")
@@ -229,4 +300,4 @@ class TemporalEngine:
             snapshot_reads=counters.snapshot_reads,
             version_entries=counters.version_entries,
             max_chain_depth=counters.max_chain_depth,
-            interval_path=True)
+            interval_path=True, batch_path=use_batch)

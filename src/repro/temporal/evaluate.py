@@ -2,10 +2,18 @@
 
 Quintuple patterns need each matched entry's insertion snapshot next to
 its value, which the columnar one-shot kernels deliberately do not carry
-(their visible-prefix reads drop the SN column).  Rather than thread SN
-columns through the hot batch path — and risk its bit-identical charge
-discipline — interval queries run here, on a dedicated row-based
-evaluator over :meth:`DistributedStore.neighbors_versions_from`.
+(their visible-prefix reads drop the SN column).  Interval queries
+originally ran *only* here, on this row-based evaluator over
+:meth:`DistributedStore.neighbors_versions_from`, precisely to avoid
+threading SN columns through a hot batch path before the charge
+discipline for doing so was proven.  That caveat is now resolved:
+:mod:`repro.temporal.kernels` carries the ``?ts`` column through
+batched, version-carrying store reads under the same
+``charges_commute`` rules as every other kernel, and the temporal
+engine runs it by default.  This evaluator stays as the differential
+control (``use_batch=False``; ``row_path`` in the bench harness) — the
+batch path must stay bit-identical to it in rows, simulated charges,
+and state digest.
 
 The evaluator reuses the planner's selectivity ordering
 (:func:`repro.sparql.planner.plan_steps`) and mirrors the graph

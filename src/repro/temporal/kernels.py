@@ -1,0 +1,746 @@
+"""Columnar batch kernels for SPARQL-T interval (quintuple) queries.
+
+The row evaluator (:mod:`repro.temporal.evaluate`) pays the per-row
+Python interpretation floor on every binding: a dict copy, a handful of
+key writes, and a ``meter.charge`` call per produced row.  This module
+is the batch twin — the same exploration expressed over parallel column
+lists, with the SN (``?ts``) column threaded through every expansion
+instead of being re-derived per row:
+
+* store reads go through the batch version-carrying entry points
+  (:meth:`ShardStore.lookup_versions_many` /
+  :meth:`DistributedStore.neighbors_versions_batch`) — one probe per
+  *distinct* start vertex in first-occurrence row order, integer
+  charges aggregated through a :class:`~repro.sim.cost.ChargeSet`;
+* FILTER application is compiled once per plan into a static schedule
+  (:class:`CompiledIntervalPlan`): each ordinary and interval FILTER is
+  pinned to the first step at which its variables are bound, and the
+  compiled selectors (:class:`_CompiledPlainFilter` /
+  :class:`_CompiledIntervalFilter`) evaluate each *distinct* operand
+  tuple once per batch, mirroring the one-shot path's
+  ``_CompiledFilter`` verdict memo;
+* binding production charges ``binding_ns`` once per extend with
+  ``times=<rows produced>`` instead of once per row.
+
+Bit-identity discipline (the bar every kernel PR clears): produced
+rows, their order, the meter total, the per-category breakdown, and the
+state digest must equal the row evaluator's exactly.  The load-bearing
+rules, all inherited from the PR 6 ``charges_commute`` analysis:
+
+* integer-valued charges (``hash_probe_ns``, ``scan_entry_ns``,
+  ``binding_ns``, ``filter_ns``) sum exactly in any grouping *between
+  two fractional charges*, so they may be aggregated freely within
+  such a gap;
+* fractional charges (``rdma_byte_ns`` remote reads) must land on the
+  same running meter total as in the row path, or their float rounding
+  can differ in the last bit — so probes issue in first-occurrence row
+  order, and on multi-node clusters (where probes can be remote) the
+  bound-start and index-start expansions preserve the row evaluator's
+  probe-vs-binding interleave: each probe's captured charges replay at
+  its row position, with the binding charges of earlier rows emitted
+  first (single-node clusters are fractional-free and keep the fully
+  aggregated fast path — the same gate as the one-shot executor's
+  ``charges_commute``);
+* an aggregated charge with ``times=0`` still creates its breakdown
+  category at ``0.0``, which the row path would not — every aggregate
+  charge here is guarded by a positive count.
+
+Row-order contract: each expansion produces rows in the row evaluator's
+nested-loop order — anchor probes are shared (row-major, entry-minor),
+bound-start expansions gather per row, and ``INDEX_START`` concatenates
+per-subject parts (subject-major, then row, then entry).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, repeat
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.rdf.ids import DIR_IN, DIR_OUT
+from repro.sim.cost import LatencyMeter
+from repro.sparql.ast import (FilterExpr, IntervalFilter, OPEN_END, Query,
+                              is_variable)
+from repro.sparql.planner import (BOUND_OBJECT, BOUND_SUBJECT, CONST_OBJECT,
+                                  CONST_SUBJECT, PlannedStep)
+from repro.temporal.evaluate import (IntervalCounters, _plain_filter_matches,
+                                     interval_op_holds)
+
+#: Column store: graph variables map to vid columns, interval endpoint
+#: variables map to snapshot-number columns; all columns share length.
+Columns = Dict[str, List[int]]
+
+
+class _ChargeScript:
+    """Captures one probe's meter charges for ordered replay.
+
+    On multi-node clusters a probe can price fractional remote reads,
+    which must land on the same running meter total as in the row
+    evaluator — after the binding charges of every earlier row.  The
+    expansions below fetch through this shim first (the data is needed
+    to compute binding counts at all), then replay each probe's exact
+    charge sequence at its row position.
+    """
+
+    __slots__ = ("calls",)
+
+    def __init__(self) -> None:
+        self.calls: List[Tuple[float, int, Optional[str]]] = []
+
+    def charge(self, ns: float, times: int = 1,
+               category: Optional[str] = None) -> None:
+        self.calls.append((ns, times, category))
+
+    def replay(self, meter: LatencyMeter) -> None:
+        for ns, times, category in self.calls:
+            meter.charge(ns, times=times, category=category)
+
+
+class _CompiledPlainFilter:
+    """One ordinary FILTER compiled into a column selector.
+
+    Evaluation is delegated to the row path's
+    :func:`~repro.temporal.evaluate._plain_filter_matches` on a minimal
+    one-row dict, memoized per distinct operand-value pair — semantics
+    (including the unbound-variable :class:`PlanError`) stay shared with
+    the control by construction.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: FilterExpr):
+        self.expr = expr
+
+    def select(self, cols: Columns, indices, interval_vars, name_of,
+               resolve) -> List[int]:
+        if not indices:
+            # Mirror the row path's short-circuit: a filter whose
+            # predecessors emptied the batch is never evaluated, so an
+            # unbound variable in it must not raise here either.
+            return list(indices)
+        expr = self.expr
+        lterm, rterm = expr.left, expr.right
+        lcol = cols.get(lterm) if is_variable(lterm) else None
+        rcol = cols.get(rterm) if is_variable(rterm) else None
+        if is_variable(lterm) and lcol is None:
+            raise PlanError(f"filter variable never bound: {lterm}")
+        if is_variable(rterm) and rcol is None:
+            raise PlanError(f"filter variable never bound: {rterm}")
+        memo: Dict[Tuple[Optional[int], Optional[int]], bool] = {}
+        out: List[int] = []
+        for i in indices:
+            key = (lcol[i] if lcol is not None else None,
+                   rcol[i] if rcol is not None else None)
+            try:
+                verdict = memo[key]
+            except KeyError:
+                row: Dict[str, int] = {}
+                if lcol is not None:
+                    row[lterm] = key[0]
+                if rcol is not None:
+                    row[rterm] = key[1]
+                verdict = _plain_filter_matches(expr, row, interval_vars,
+                                                name_of, resolve)
+                memo[key] = verdict
+            if verdict:
+                out.append(i)
+        return out
+
+
+class _CompiledIntervalFilter:
+    """One interval FILTER compiled into a column selector.
+
+    Constant endpoints are resolved once at compile time; variable
+    endpoints read their columns, and each distinct endpoint quadruple
+    runs :func:`interval_op_holds` once per batch.
+    """
+
+    __slots__ = ("ifilter", "endpoints")
+
+    def __init__(self, ifilter: IntervalFilter):
+        self.ifilter = ifilter
+        # Row-path _endpoint() order: left_ts, left_te, right_ts,
+        # right_te — preserved so unbound-variable errors match.
+        self.endpoints: List[Tuple[Optional[str], Optional[int]]] = [
+            (term, None) if is_variable(term) else (None, int(term))
+            for term in (ifilter.left_ts, ifilter.left_te,
+                         ifilter.right_ts, ifilter.right_te)]
+
+    def select(self, cols: Columns, indices) -> List[int]:
+        if not indices:
+            return list(indices)
+        op = self.ifilter.op
+        resolved: List[object] = []
+        for term, const in self.endpoints:
+            if term is None:
+                resolved.append(const)
+            else:
+                col = cols.get(term)
+                if col is None:
+                    raise PlanError(
+                        f"interval variable never bound: {term}")
+                resolved.append(col)
+        r0, r1, r2, r3 = resolved
+        memo: Dict[Tuple[int, int, int, int], bool] = {}
+        out: List[int] = []
+        for i in indices:
+            key = (r0[i] if type(r0) is list else r0,
+                   r1[i] if type(r1) is list else r1,
+                   r2[i] if type(r2) is list else r2,
+                   r3[i] if type(r3) is list else r3)
+            try:
+                verdict = memo[key]
+            except KeyError:
+                verdict = interval_op_holds(op, *key)
+                memo[key] = verdict
+            if verdict:
+                out.append(i)
+        return out
+
+
+class CompiledIntervalPlan:
+    """An interval query's steps plus its static FILTER schedule.
+
+    The row evaluator decides filter readiness dynamically (``prune``
+    after every step); readiness depends only on which pattern
+    variables each executed step binds, so the schedule is a pure
+    function of ``(query, steps)`` and compiles once.  Filters whose
+    variables are never bound by any step and lie outside
+    ``query.variables()`` are dropped without evaluation — exactly the
+    row path's silent leftover behaviour.
+    """
+
+    __slots__ = ("steps", "plain_at", "interval_at", "leftover_plain",
+                 "leftover_interval")
+
+    def __init__(self, query: Query, steps: Sequence[PlannedStep]):
+        self.steps: List[PlannedStep] = list(steps)
+        pending_plain = list(query.filters)
+        pending_interval = list(query.interval_filters)
+        self.plain_at: List[List[_CompiledPlainFilter]] = []
+        self.interval_at: List[List[_CompiledIntervalFilter]] = []
+        bound = set()
+        for step in self.steps:
+            bound.update(step.pattern.variables())
+            bound.update(step.pattern.interval_variables())
+            ready = [f for f in pending_plain
+                     if set(f.variables()) <= bound]
+            iready = [f for f in pending_interval
+                      if set(f.variables()) <= bound]
+            pending_plain = [f for f in pending_plain if f not in ready]
+            pending_interval = [f for f in pending_interval
+                                if f not in iready]
+            self.plain_at.append(
+                [_CompiledPlainFilter(f) for f in ready])
+            self.interval_at.append(
+                [_CompiledIntervalFilter(f) for f in iready])
+        final = bound | set(query.variables())
+        self.leftover_plain = [
+            _CompiledPlainFilter(f) for f in pending_plain
+            if set(f.variables()) <= final]
+        self.leftover_interval = [
+            _CompiledIntervalFilter(f) for f in pending_interval
+            if set(f.variables()) <= final]
+
+
+def _extend_shared(cols: Columns, nrows: int, anchor_var: Optional[str],
+                   anchor_vid: int, other_term: str, ts_var: Optional[str],
+                   te_var: Optional[str], vids: List[int], sns: List[int],
+                   resolve, meter: LatencyMeter,
+                   binding_ns: float) -> Tuple[Columns, int]:
+    """Extend the batch against one shared probe's entry list.
+
+    Covers ``CONST_SUBJECT``/``CONST_OBJECT`` (anchor is the constant,
+    ``anchor_var`` is None) and one ``INDEX_START`` subject part
+    (``anchor_var`` is the subject variable).  Binding targets are
+    written in the row evaluator's assignment order — anchor, unbound
+    other, ``?ts``, ``?te`` — with later writes winning on variable
+    name collisions, exactly like its per-row dict assignments.
+    """
+    if is_variable(other_term):
+        const_other = None
+        other_col = cols.get(other_term)
+    else:
+        const_other = resolve(other_term)
+        if const_other is None:
+            return {}, 0
+        other_col = None
+    ts_col = cols.get(ts_var) if ts_var is not None else None
+    te_col = cols.get(te_var) if te_var is not None else None
+    bind_other = other_col is None and const_other is None
+
+    if const_other is not None:
+        sel_vids: List[int] = []
+        sel_sns: List[int] = []
+        for v, s in zip(vids, sns):
+            if v == const_other:
+                sel_vids.append(v)
+                sel_sns.append(s)
+    else:
+        sel_vids, sel_sns = vids, sns
+
+    out: Columns = {}
+    if other_col is None and ts_col is None:
+        # Uniform branch: every surviving row takes every selected
+        # entry (cross product), so columns tile instead of gather.
+        ksel = len(sel_vids)
+        if te_col is not None:
+            keep = [i for i in range(nrows) if te_col[i] == OPEN_END]
+            nkeep = len(keep)
+        else:
+            keep = None
+            nkeep = nrows
+        total = nkeep * ksel
+        if total == 0:
+            return {}, 0
+        for var, col in cols.items():
+            base = col if keep is None else [col[i] for i in keep]
+            out[var] = list(chain.from_iterable(
+                map(repeat, base, repeat(ksel))))
+        targets: Columns = {}
+        if anchor_var is not None:
+            targets[anchor_var] = [anchor_vid] * total
+        if bind_other:
+            targets[other_term] = sel_vids * nkeep
+        if ts_var is not None:
+            targets[ts_var] = sel_sns * nkeep
+        if te_var is not None:
+            targets[te_var] = [OPEN_END] * total
+        out.update(targets)
+        meter.charge(binding_ns, times=total, category="explore")
+        return out, total
+
+    # Constrained branch: a bound other-vertex or ``?ts`` column makes
+    # the match per-row; index the entry pool once and gather.
+    index: Dict = {}
+    if other_col is not None and ts_col is not None:
+        for pos, pair in enumerate(zip(sel_vids, sel_sns)):
+            index.setdefault(pair, []).append(pos)
+        keys = list(zip(other_col, ts_col))
+    elif other_col is not None:
+        for pos, v in enumerate(sel_vids):
+            index.setdefault(v, []).append(pos)
+        keys = other_col
+    else:
+        for pos, s in enumerate(sel_sns):
+            index.setdefault(s, []).append(pos)
+        keys = ts_col
+    empty: Tuple[int, ...] = ()
+    pos_lists = []
+    for i in range(nrows):
+        if te_col is not None and te_col[i] != OPEN_END:
+            pos_lists.append(empty)
+        else:
+            pos_lists.append(index.get(keys[i], empty))
+    counts = [len(p) for p in pos_lists]
+    total = sum(counts)
+    if total == 0:
+        return {}, 0
+    for var, col in cols.items():
+        out[var] = list(chain.from_iterable(map(repeat, col, counts)))
+    flat = [p for plist in pos_lists for p in plist]
+    targets = {}
+    if anchor_var is not None:
+        targets[anchor_var] = [anchor_vid] * total
+    if bind_other:
+        targets[other_term] = [sel_vids[p] for p in flat]
+    if ts_var is not None:
+        targets[ts_var] = [sel_sns[p] for p in flat]
+    if te_var is not None:
+        targets[te_var] = [OPEN_END] * total
+    out.update(targets)
+    meter.charge(binding_ns, times=total, category="explore")
+    return out, total
+
+
+def _extend_bound(cols: Columns, nrows: int, start_term: str,
+                  other_term: str, ts_var: Optional[str],
+                  te_var: Optional[str], eid: int, direction: int, store,
+                  home_node: int, snapshot: int, meter: LatencyMeter,
+                  counters: IntervalCounters, resolve,
+                  binding_ns: float) -> Tuple[Columns, int]:
+    """Extend the batch through a bound-start expansion step.
+
+    One batched probe per distinct start vertex in first-occurrence
+    row order — the same probes, in the same order, as the row
+    evaluator's per-step probe cache.  On a single-node cluster every
+    probe charge is an integer and the whole batch charges aggregated;
+    on multi-node clusters the probes capture their (possibly
+    fractional) charges for replay interleaved with the binding
+    charges, preserving the row path's charge sequence bit-for-bit.
+    """
+    starts = cols[start_term]
+    if len(store.cluster.nodes) > 1:
+        fetched = {}
+        scripts: Optional[Dict[int, _ChargeScript]] = {}
+        for start in starts:
+            if start in fetched:
+                continue
+            shim = _ChargeScript()
+            pair = store.neighbors_versions_from(
+                home_node, start, eid, direction, shim, max_sn=snapshot,
+                category="store")
+            fetched[start] = pair
+            scripts[start] = shim
+            counters.record(len(pair[0]))
+    else:
+        scripts = None
+        fetched = store.neighbors_versions_batch(
+            home_node, starts, eid, direction, meter, max_sn=snapshot,
+            category="store")
+        for vlist, _ in fetched.values():
+            counters.record(len(vlist))
+
+    def charge_bindings(counts: Optional[List[int]], total: int) -> None:
+        """Emit binding charges (and, multi-node, the probe replays).
+
+        Replays each captured probe at its first-occurrence row, with
+        the binding charges of earlier rows flushed first — the row
+        evaluator's exact interleave.  ``counts`` is None when no row
+        produces bindings (unresolvable constant other-vertex).
+        """
+        if scripts is None:
+            if total:
+                meter.charge(binding_ns, times=total, category="explore")
+            return
+        pending = 0
+        remaining = dict(scripts)
+        for i in range(nrows):
+            shim = remaining.pop(starts[i], None)
+            if shim is not None:
+                if pending:
+                    meter.charge(binding_ns, times=pending,
+                                 category="explore")
+                    pending = 0
+                shim.replay(meter)
+            if counts is not None:
+                pending += counts[i]
+        if pending:
+            meter.charge(binding_ns, times=pending, category="explore")
+
+    if is_variable(other_term):
+        const_other = None
+        other_col = cols.get(other_term)
+    else:
+        # Resolved after the probes on purpose: the row path issues its
+        # cached probes before extend() discovers the constant is
+        # unknown, so the probe charges land either way.
+        const_other = resolve(other_term)
+        if const_other is None:
+            charge_bindings(None, 0)
+            return {}, 0
+        other_col = None
+    ts_col = cols.get(ts_var) if ts_var is not None else None
+    te_col = cols.get(te_var) if te_var is not None else None
+    bind_other = other_col is None and const_other is None
+
+    if const_other is not None:
+        prepared: Dict[int, Tuple[List[int], List[int]]] = {}
+        for start, (vlist, slist) in fetched.items():
+            pv: List[int] = []
+            ps: List[int] = []
+            for v, s in zip(vlist, slist):
+                if v == const_other:
+                    pv.append(v)
+                    ps.append(s)
+            prepared[start] = (pv, ps)
+    else:
+        prepared = fetched
+
+    out: Columns = {}
+    if other_col is None and ts_col is None:
+        counts = []
+        for i in range(nrows):
+            if te_col is not None and te_col[i] != OPEN_END:
+                counts.append(0)
+            else:
+                counts.append(len(prepared[starts[i]][0]))
+        total = sum(counts)
+        charge_bindings(counts, total)
+        if total == 0:
+            return {}, 0
+        for var, col in cols.items():
+            out[var] = list(chain.from_iterable(map(repeat, col, counts)))
+        targets: Columns = {}
+        if bind_other:
+            targets[other_term] = list(chain.from_iterable(
+                prepared[starts[i]][0] for i in range(nrows) if counts[i]))
+        if ts_var is not None:
+            targets[ts_var] = list(chain.from_iterable(
+                prepared[starts[i]][1] for i in range(nrows) if counts[i]))
+        if te_var is not None:
+            targets[te_var] = [OPEN_END] * total
+        out.update(targets)
+        return out, total
+
+    # Constrained branch: lazy per-start indexes over the entry pools.
+    indexes: Dict[int, Dict] = {}
+
+    def index_for(start: int) -> Dict:
+        idx = indexes.get(start)
+        if idx is None:
+            idx = {}
+            pv, ps = prepared[start]
+            if other_col is not None and ts_col is not None:
+                for pos, pair in enumerate(zip(pv, ps)):
+                    idx.setdefault(pair, []).append(pos)
+            elif other_col is not None:
+                for pos, v in enumerate(pv):
+                    idx.setdefault(v, []).append(pos)
+            else:
+                for pos, s in enumerate(ps):
+                    idx.setdefault(s, []).append(pos)
+            indexes[start] = idx
+        return idx
+
+    empty: Tuple[int, ...] = ()
+    pos_lists = []
+    for i in range(nrows):
+        if te_col is not None and te_col[i] != OPEN_END:
+            pos_lists.append(empty)
+            continue
+        if other_col is not None and ts_col is not None:
+            key = (other_col[i], ts_col[i])
+        elif other_col is not None:
+            key = other_col[i]
+        else:
+            key = ts_col[i]
+        pos_lists.append(index_for(starts[i]).get(key, empty))
+    counts = [len(p) for p in pos_lists]
+    total = sum(counts)
+    charge_bindings(counts, total)
+    if total == 0:
+        return {}, 0
+    for var, col in cols.items():
+        out[var] = list(chain.from_iterable(map(repeat, col, counts)))
+    targets = {}
+    if bind_other:
+        targets[other_term] = [prepared[starts[i]][0][p]
+                               for i in range(nrows) for p in pos_lists[i]]
+    if ts_var is not None:
+        targets[ts_var] = [prepared[starts[i]][1][p]
+                           for i in range(nrows) for p in pos_lists[i]]
+    if te_var is not None:
+        targets[te_var] = [OPEN_END] * total
+    out.update(targets)
+    return out, total
+
+
+def _extend_index(cols: Columns, nrows: int, pattern, eid: int, store,
+                  home_node: int, snapshot: int, meter: LatencyMeter,
+                  counters: IntervalCounters, resolve,
+                  binding_ns: float) -> Tuple[Columns, int]:
+    """``INDEX_START``: enumerate subjects, expand each subject part.
+
+    Index vertices are deduplicated per shard and each vertex is owned
+    by exactly one shard, so the gathered subjects are globally unique
+    — the batch probe's distinct-vid dedup therefore issues exactly the
+    row path's one probe per subject.  Parts concatenate subject-major
+    (then row, then entry), matching the row evaluator's loop nesting.
+
+    On a single-node cluster every probe charge is an integer, so all
+    subjects fetch in one aggregated call up front.  On multi-node
+    clusters a probe can price fractional remote reads, which must stay
+    interleaved with the binding charges exactly as in the row path —
+    each subject probes just in time, followed by that subject's
+    binding charge (the one-shot executor's ``charges_commute`` gate).
+    """
+    subjects = store.gather_index(home_node, eid, DIR_OUT, meter,
+                                  category="store")
+    if len(store.cluster.nodes) > 1:
+        fetched = None
+    else:
+        fetched = store.neighbors_versions_batch(
+            home_node, subjects, eid, DIR_OUT, meter, max_sn=snapshot,
+            category="store")
+        for vlist, _ in fetched.values():
+            counters.record(len(vlist))
+
+    def probe(svid: int) -> Tuple[List[int], List[int]]:
+        if fetched is not None:
+            return fetched[svid]
+        pair = store.neighbors_versions_from(
+            home_node, svid, eid, DIR_OUT, meter, max_sn=snapshot,
+            category="store")
+        counters.record(len(pair[0]))
+        return pair
+
+    if nrows == 1 and not cols:
+        # First-step fast path: the batch is the single empty row, so
+        # every subject part is its (optionally constant-filtered)
+        # entry list verbatim — no per-part column tiling needed.
+        if is_variable(pattern.object):
+            const_other = None
+        else:
+            const_other = resolve(pattern.object)
+            if const_other is None:
+                if fetched is None:
+                    # The row path probes every subject before extend()
+                    # discovers the constant is unknown.
+                    for svid in subjects:
+                        probe(svid)
+                return {}, 0
+        subj_col: List[int] = []
+        obj_col: List[int] = []
+        ts_col: List[int] = []
+        for svid in subjects:
+            vids, sns = probe(svid)
+            if const_other is not None:
+                keep = [k for k, v in enumerate(vids) if v == const_other]
+                vids = [vids[k] for k in keep]
+                sns = [sns[k] for k in keep]
+            n = len(vids)
+            if not n:
+                continue
+            if fetched is None:
+                meter.charge(binding_ns, times=n, category="explore")
+            subj_col.extend(repeat(svid, n))
+            obj_col.extend(vids)
+            ts_col.extend(sns)
+        total = len(subj_col)
+        if total == 0:
+            return {}, 0
+        # Row-path assignment order, later writes winning on variable
+        # name collisions (subject, unbound object, ?ts, ?te).
+        targets: Columns = {pattern.subject: subj_col}
+        if const_other is None:
+            targets[pattern.object] = obj_col
+        if pattern.ts is not None:
+            targets[pattern.ts] = ts_col
+        if pattern.te is not None:
+            targets[pattern.te] = [OPEN_END] * total
+        if fetched is not None:
+            meter.charge(binding_ns, times=total, category="explore")
+        return targets, total
+
+    parts: List[Columns] = []
+    total = 0
+    for svid in subjects:
+        vids, sns = probe(svid)
+        part, part_n = _extend_shared(
+            cols, nrows, pattern.subject, svid, pattern.object,
+            pattern.ts, pattern.te, vids, sns, resolve, meter, binding_ns)
+        if part_n:
+            parts.append(part)
+            total += part_n
+    if not parts:
+        return {}, 0
+    if len(parts) == 1:
+        return parts[0], total
+    merged = {var: list(chain.from_iterable(part[var] for part in parts))
+              for var in parts[0]}
+    return merged, total
+
+
+def evaluate_interval_batch(query: Query, plan: CompiledIntervalPlan,
+                            store, home_node: int, snapshot: int,
+                            meter: LatencyMeter,
+                            counters: Optional[IntervalCounters] = None
+                            ) -> Tuple[List[str], List[Tuple[int, ...]]]:
+    """Run an interval query on the columnar batch path.
+
+    Drop-in twin of
+    :func:`repro.temporal.evaluate.evaluate_interval_query`: same
+    ``(variables, rows)`` result in the same order, same simulated
+    charges (total and per-category breakdown), same traversal
+    counters — proven by the batch-vs-row differential suite.
+    """
+    strings = store.strings
+    cost = store.cluster.cost
+    name_of = strings.entity_name
+    resolve = strings.lookup_entity
+    if counters is None:
+        counters = IntervalCounters()
+    interval_vars = set(query.interval_variables())
+    binding_ns = cost.binding_ns
+    filter_ns = cost.filter_ns
+
+    cols: Columns = {}
+    nrows = 1
+
+    def apply_filters(plain, interval) -> None:
+        nonlocal cols, nrows
+        count = len(plain) + len(interval)
+        if count == 0 or nrows == 0:
+            # Guarded so a times=0 charge cannot create a breakdown
+            # category the row path never touched.
+            return
+        meter.charge(filter_ns, times=nrows * count, category="filter")
+        indices = range(nrows)
+        for f in plain:
+            indices = f.select(cols, indices, interval_vars, name_of,
+                               resolve)
+        for f in interval:
+            indices = f.select(cols, indices)
+        if len(indices) != nrows:
+            cols = {var: [col[i] for i in indices]
+                    for var, col in cols.items()}
+            nrows = len(indices)
+
+    for at, step in enumerate(plan.steps):
+        pattern = step.pattern
+        eid = strings.lookup_predicate(pattern.predicate)
+        if eid is None:
+            # Unknown predicate empties the batch before this step's
+            # filters — the row path breaks before its prune() too.
+            nrows = 0
+            break
+        if step.kind == CONST_SUBJECT:
+            anchor = resolve(pattern.subject)
+            if anchor is None:
+                cols, nrows = {}, 0
+            else:
+                vids, sns = store.neighbors_versions_from(
+                    home_node, anchor, eid, DIR_OUT, meter,
+                    max_sn=snapshot, category="store")
+                counters.record(len(vids))
+                cols, nrows = _extend_shared(
+                    cols, nrows, None, anchor, pattern.object,
+                    pattern.ts, pattern.te, vids, sns, resolve, meter,
+                    binding_ns)
+        elif step.kind == CONST_OBJECT:
+            anchor = resolve(pattern.object)
+            if anchor is None:
+                cols, nrows = {}, 0
+            else:
+                vids, sns = store.neighbors_versions_from(
+                    home_node, anchor, eid, DIR_IN, meter,
+                    max_sn=snapshot, category="store")
+                counters.record(len(vids))
+                cols, nrows = _extend_shared(
+                    cols, nrows, None, anchor, pattern.subject,
+                    pattern.ts, pattern.te, vids, sns, resolve, meter,
+                    binding_ns)
+        elif step.kind == BOUND_SUBJECT:
+            cols, nrows = _extend_bound(
+                cols, nrows, pattern.subject, pattern.object, pattern.ts,
+                pattern.te, eid, DIR_OUT, store, home_node, snapshot,
+                meter, counters, resolve, binding_ns)
+        elif step.kind == BOUND_OBJECT:
+            cols, nrows = _extend_bound(
+                cols, nrows, pattern.object, pattern.subject, pattern.ts,
+                pattern.te, eid, DIR_IN, store, home_node, snapshot,
+                meter, counters, resolve, binding_ns)
+        else:
+            cols, nrows = _extend_index(
+                cols, nrows, pattern, eid, store, home_node, snapshot,
+                meter, counters, resolve, binding_ns)
+        apply_filters(plan.plain_at[at], plan.interval_at[at])
+        if nrows == 0:
+            break
+
+    apply_filters(plan.leftover_plain, plan.leftover_interval)
+
+    out_vars = query.projected()
+    if nrows == 0:
+        out_rows: List[Tuple[int, ...]] = []
+    elif out_vars:
+        out_rows = list(dict.fromkeys(zip(*[cols[v] for v in out_vars])))
+    else:
+        out_rows = [()]
+    offset = query.offset or 0
+    if offset:
+        out_rows = out_rows[offset:]
+    if query.limit is not None:
+        out_rows = out_rows[:query.limit]
+    return out_vars, out_rows
